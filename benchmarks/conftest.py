@@ -1,0 +1,75 @@
+"""Shared infrastructure for the per-figure benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and
+reports the series next to the paper's reference values.  Because
+pytest captures stdout, reports are (a) accumulated and printed in the
+terminal summary, and (b) written to ``benchmarks/results/<name>.txt``
+so the numbers survive the run.
+
+Scale knobs (environment variables):
+
+=====================  =======  ==========================================
+variable               default  meaning
+=====================  =======  ==========================================
+``REPRO_BENCH_LINES``  96       memory size (lines) for lifetime studies
+``REPRO_BENCH_END``    60       mean cell endurance (writes) for lifetime
+``REPRO_BENCH_TRIALS`` 150      Monte Carlo trials per Figure 9 point
+``REPRO_BENCH_WRITES`` 4000     write-back samples for statistics figures
+=====================  =======  ==========================================
+
+The defaults finish the whole harness in tens of minutes on a laptop;
+raise them for tighter confidence intervals.  Figure 10's lifetime study
+is the expensive piece and is shared with Figure 12 and Table IV through
+the ``shared_cache`` fixture.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_REPORTS: list[tuple[str, str]] = []
+_SHARED_CACHE: dict[str, object] = {}
+
+
+def env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    """Simulation-scale knobs, overridable via environment."""
+    return {
+        "n_lines": env_int("REPRO_BENCH_LINES", 96),
+        "endurance_mean": env_int("REPRO_BENCH_END", 60),
+        "trials": env_int("REPRO_BENCH_TRIALS", 150),
+        "writes": env_int("REPRO_BENCH_WRITES", 4000),
+    }
+
+
+@pytest.fixture()
+def report():
+    """Record a named report: shown in the summary and saved to disk."""
+
+    def _report(name: str, text: str) -> None:
+        _REPORTS.append((name, text))
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _report
+
+
+@pytest.fixture(scope="session")
+def shared_cache():
+    """Cross-benchmark result cache (Figure 10 feeds 12 and Table IV)."""
+    return _SHARED_CACHE
+
+
+def pytest_terminal_summary(terminalreporter):
+    for name, text in _REPORTS:
+        terminalreporter.write_sep("=", name)
+        terminalreporter.write_line(text)

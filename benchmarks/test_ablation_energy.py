@@ -1,0 +1,54 @@
+"""Ablation: array write energy per write-back across the systems.
+
+The paper's Section I motivates compression partly by energy: fewer
+programmed cells means less SET/RESET energy.  This bench quantifies
+per-write array energy under the four systems (wear-free runs so the
+comparison is about steady-state flips, not end-of-life behaviour).
+"""
+
+from repro.core import EVALUATED_SYSTEMS
+from repro.lifetime import build_simulator
+
+
+def test_ablation_write_energy(benchmark, report, bench_scale):
+    workloads = ("milc", "gcc", "lbm")
+
+    def measure():
+        table = {}
+        for workload in workloads:
+            row = {}
+            for system in EVALUATED_SYSTEMS:
+                simulator = build_simulator(
+                    system, workload,
+                    n_lines=bench_scale["n_lines"] // 2,
+                    endurance_mean=10**6,  # wear-free steady state
+                    seed=0,
+                )
+                result = simulator.run(max_writes=25_000)
+                row[system] = result
+            table[workload] = row
+        return table
+
+    table = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    lines = [f"{'workload':10}" + "".join(f"{s:>12}" for s in EVALUATED_SYSTEMS)
+             + "   (pJ/write)"]
+    for workload, row in table.items():
+        lines.append(
+            f"{workload:10}"
+            + "".join(
+                f"{row[system].write_energy_per_write_pj():12.0f}"
+                for system in EVALUATED_SYSTEMS
+            )
+        )
+    lines.append("compression cuts array energy roughly with the flip count")
+    report("ablation_write_energy", "\n".join(lines))
+
+    for workload, row in table.items():
+        baseline = row["baseline"].write_energy_per_write_pj()
+        assert baseline > 0
+        if workload == "milc":  # highly compressible: clear energy win
+            assert row["comp_wf"].write_energy_per_write_pj() < 0.8 * baseline
+        # No system more than modestly exceeds baseline energy.
+        for system in EVALUATED_SYSTEMS:
+            assert row[system].write_energy_per_write_pj() < 1.3 * baseline

@@ -1,0 +1,56 @@
+"""Ablation: Start-Gap's psi period and region count.
+
+Smaller psi levels wear faster (hot lines escape sooner) but costs an
+extra write per psi demand writes; regions localize movement.  The
+paper fixes psi=100, single region -- this bench shows the neighborhood
+of that choice.
+"""
+
+from repro.lifetime import build_simulator
+
+
+def run(scale, seed=0, **overrides):
+    simulator = build_simulator(
+        "comp_wf",
+        "mcf",
+        n_lines=scale["n_lines"] // 2,
+        endurance_mean=scale["endurance_mean"],
+        seed=seed,
+        **overrides,
+    )
+    return simulator.run(max_writes=4_000_000)
+
+
+def test_ablation_start_gap(benchmark, report, bench_scale):
+    def measure():
+        psi_sweep = {
+            psi: run(bench_scale, start_gap_psi=psi) for psi in (25, 100, 400)
+        }
+        region_sweep = {
+            regions: run(bench_scale, start_gap_regions=regions)
+            for regions in (1, 4)
+        }
+        return psi_sweep, region_sweep
+
+    psi_sweep, region_sweep = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    lines = [f"{'psi':>6}{'writes to fail':>16}{'flips/write':>13}"]
+    for psi, result in psi_sweep.items():
+        lines.append(
+            f"{psi:>6}{result.writes_issued:>16d}{result.flips_per_write:>13.1f}"
+        )
+    lines.append("")
+    lines.append(f"{'regions':>8}{'writes to fail':>16}")
+    for regions, result in region_sweep.items():
+        lines.append(f"{regions:>8}{result.writes_issued:>16d}")
+    lines.append("paper setting: psi=100, one region")
+    report("ablation_start_gap", "\n".join(lines))
+
+    for result in list(psi_sweep.values()) + list(region_sweep.values()):
+        assert result.failed
+    # Aggressive movement (psi=25) costs extra writes per demand write,
+    # visible as a higher flip rate.
+    assert psi_sweep[25].flips_per_write >= psi_sweep[400].flips_per_write * 0.95
+    # Region count is roughly lifetime-neutral at this scale.
+    base = region_sweep[1].writes_issued
+    assert 0.6 * base <= region_sweep[4].writes_issued <= 1.6 * base

@@ -1,0 +1,52 @@
+"""Ablation: sensitivity of the Figure 8 heuristic to its thresholds
+(Threshold1: always-compress size; Threshold2: minor-size-change band)."""
+
+from repro.lifetime import build_simulator
+
+
+def run(t1, t2, scale):
+    simulator = build_simulator(
+        "comp_wf",
+        "bzip2",
+        n_lines=scale["n_lines"] // 2,
+        endurance_mean=10**6,  # wear-free: compare flip behaviour only
+        seed=0,
+        threshold1=t1,
+        threshold2=t2,
+    )
+    return simulator.run(max_writes=40_000)
+
+
+def test_ablation_heuristic_thresholds(benchmark, report, bench_scale):
+    grid = [(8, 8), (16, 4), (16, 8), (16, 16), (32, 8)]
+
+    def measure():
+        return {(t1, t2): run(t1, t2, bench_scale) for t1, t2 in grid}
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    lines = [f"{'T1':>4}{'T2':>4}{'flips/write':>13}{'compressed frac':>17}"]
+    for (t1, t2), result in results.items():
+        lines.append(
+            f"{t1:>4}{t2:>4}{result.flips_per_write:13.1f}"
+            f"{result.compressed_write_fraction:17.2f}"
+        )
+    lines.append("default (16, 8) balances flips against compressed coverage")
+    report("ablation_heuristic_thresholds", "\n".join(lines))
+
+    # Compressed coverage grows monotonically with the always-compress
+    # threshold T1 (at fixed T2).
+    assert (
+        results[(8, 8)].compressed_write_fraction
+        <= results[(16, 8)].compressed_write_fraction
+        <= results[(32, 8)].compressed_write_fraction
+    )
+    # A wider "minor change" band (T2) keeps SC lower, so more writes
+    # stay compressed.
+    assert (
+        results[(16, 4)].compressed_write_fraction
+        <= results[(16, 16)].compressed_write_fraction
+    )
+    for result in results.values():
+        assert 0.0 < result.compressed_write_fraction <= 1.0
+        assert result.flips_per_write > 0

@@ -1,0 +1,54 @@
+"""Ablation: differential writes vs Flip-N-Write as the chip-level
+write-reduction layer (Section II-C background)."""
+
+import numpy as np
+
+from repro.pcm import FlipNWrite, bytes_to_bits, naive_flip_count
+from repro.traces import SyntheticWorkload, get_profile
+
+
+def test_ablation_dw_vs_flip_n_write(benchmark, report, bench_scale):
+    workloads = ("gobmk", "milc", "lbm")
+    writes = bench_scale["writes"]
+
+    def measure():
+        rows = {}
+        fnw = FlipNWrite(word_bits=32)
+        for name in workloads:
+            generator = SyntheticWorkload(get_profile(name), n_lines=64, seed=0)
+            state_dw: dict[int, np.ndarray] = {}
+            state_fnw: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+            dw_total = fnw_total = samples = 0
+            for write in generator.iter_writes(writes):
+                bits = bytes_to_bits(write.data)
+                old = state_dw.get(write.line)
+                if old is not None:
+                    dw_total += naive_flip_count(old, bits)
+                    stored, flags = state_fnw[write.line]
+                    encoded = fnw.encode(stored, flags, bits)
+                    fnw_total += encoded.flip_count
+                    state_fnw[write.line] = (encoded.stored_bits, encoded.flags)
+                    samples += 1
+                else:
+                    state_fnw[write.line] = (
+                        bits.copy(), np.zeros(16, dtype=np.uint8)
+                    )
+                state_dw[write.line] = bits
+            rows[name] = (dw_total / samples, fnw_total / samples)
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    lines = [f"{'workload':10}{'DW flips/wr':>13}{'FNW flips/wr':>14}{'FNW saving':>12}"]
+    for name, (dw, fnw_flips) in rows.items():
+        lines.append(
+            f"{name:10}{dw:13.1f}{fnw_flips:14.1f}{1 - fnw_flips / dw:12.1%}"
+        )
+    lines.append("Flip-N-Write never programs more than half a word (+flag)")
+    report("ablation_dw_vs_flip_n_write", "\n".join(lines))
+
+    for name, (dw, fnw_flips) in rows.items():
+        # FNW is at worst a flag-bit per word above DW, and usually below.
+        assert fnw_flips <= dw + 16, name
+        # The structural guarantee: never above half the cells + flags.
+        assert fnw_flips <= 16 * 17

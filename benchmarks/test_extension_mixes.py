@@ -1,0 +1,66 @@
+"""Extension: consolidated (multiprogrammed) workload mixes.
+
+The compression architecture's gain on a shared memory sits between
+the tenants' standalone gains: the compressible tenant's small writes
+keep revived blocks useful, the incompressible tenant's writes limit
+the ceiling.
+"""
+
+from repro.core import baseline, comp_wf
+from repro.lifetime import LifetimeSimulator, build_simulator
+from repro.traces import MixMember, MixedWorkload, get_profile
+
+
+def run_mix(config, scale, seed=0):
+    mix = MixedWorkload(
+        [MixMember(get_profile("milc")), MixMember(get_profile("lbm"))],
+        n_lines=scale["n_lines"] // 2,
+        seed=seed,
+    )
+    simulator = LifetimeSimulator(
+        config=config,
+        source=mix,
+        n_lines=scale["n_lines"] // 2,
+        endurance_mean=scale["endurance_mean"],
+        seed=seed + 1,
+    )
+    return simulator.run(max_writes=4_000_000)
+
+
+def run_solo(system, workload, scale, seed=0):
+    return build_simulator(
+        system, workload,
+        n_lines=scale["n_lines"] // 2,
+        endurance_mean=scale["endurance_mean"],
+        seed=seed,
+    ).run(max_writes=4_000_000)
+
+
+def test_extension_consolidated_mixes(benchmark, report, bench_scale):
+    def measure():
+        mix_gain = (
+            run_mix(comp_wf(), bench_scale).writes_issued
+            / run_mix(baseline(), bench_scale).writes_issued
+        )
+        solo = {}
+        for workload in ("milc", "lbm"):
+            solo[workload] = (
+                run_solo("comp_wf", workload, bench_scale).writes_issued
+                / run_solo("baseline", workload, bench_scale).writes_issued
+            )
+        return mix_gain, solo
+
+    mix_gain, solo = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    lines = [
+        f"Comp+WF lifetime gain, standalone vs consolidated:",
+        f"  milc alone      : {solo['milc']:.2f}x",
+        f"  lbm alone       : {solo['lbm']:.2f}x",
+        f"  milc+lbm shared : {mix_gain:.2f}x",
+        "the shared device lands between its tenants' standalone gains",
+    ]
+    report("extension_consolidated_mixes", "\n".join(lines))
+
+    assert mix_gain > 1.0
+    low, high = sorted([solo["milc"], solo["lbm"]])
+    assert 0.7 * low <= mix_gain <= 1.3 * high

@@ -1,0 +1,40 @@
+"""Figure 3: average compressed size per application (BDI, FPC, BEST)."""
+
+import numpy as np
+
+from repro.analysis import fig3_compressed_sizes
+from repro.traces import PROFILES, WORKLOAD_ORDER
+
+
+def test_fig03_average_compressed_size(benchmark, report, bench_scale):
+    def measure():
+        return [
+            fig3_compressed_sizes(
+                PROFILES[name], n_lines=128, writes=bench_scale["writes"], seed=1
+            )
+            for name in WORKLOAD_ORDER
+        ]
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    lines = [f"{'workload':12}{'BDI':>8}{'FPC':>8}{'BEST':>8}{'paper CR':>10}{'meas CR':>9}"]
+    for row in rows:
+        paper_cr = PROFILES[row.workload].cr
+        lines.append(
+            f"{row.workload:12}{row.bdi:8.1f}{row.fpc:8.1f}{row.best:8.1f}"
+            f"{paper_cr:10.2f}{row.best_ratio:9.2f}"
+        )
+    average_ratio = float(np.mean([row.best_ratio for row in rows]))
+    lines.append(
+        f"{'Average':12}{np.mean([r.bdi for r in rows]):8.1f}"
+        f"{np.mean([r.fpc for r in rows]):8.1f}"
+        f"{np.mean([r.best for r in rows]):8.1f}"
+        f"{'0.43':>10}{average_ratio:9.2f}"
+    )
+    report("fig03_average_compressed_size", "\n".join(lines))
+
+    # Paper: BEST averages a 0.43 compression ratio across workloads.
+    assert abs(average_ratio - 0.43) < 0.07
+    # BEST never exceeds either member.
+    for row in rows:
+        assert row.best <= min(row.bdi, row.fpc) + 1e-9

@@ -1,0 +1,33 @@
+"""Figure 6: probability that two consecutive writes to the same block
+have different sizes after compression."""
+
+from repro.analysis import fig6_size_change_probability
+from repro.traces import PROFILES, WORKLOAD_ORDER
+
+
+def test_fig06_size_change_probability(benchmark, report, bench_scale):
+    def measure():
+        return {
+            name: fig6_size_change_probability(
+                PROFILES[name], n_lines=64, writes=bench_scale["writes"], seed=2
+            )
+            for name in WORKLOAD_ORDER
+        }
+
+    probabilities = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    lines = [f"{'workload':12}{'P(size change)':>16}{'profile target':>16}"]
+    for name in WORKLOAD_ORDER:
+        lines.append(
+            f"{name:12}{probabilities[name]:16.2f}"
+            f"{PROFILES[name].size_change_prob:16.2f}"
+        )
+    report("fig06_size_change_probability", "\n".join(lines))
+
+    # Paper's structure: bzip2 and gcc are the volatile outliers;
+    # hmmer and the highly compressible apps are stable.
+    assert probabilities["bzip2"] > 0.45
+    assert probabilities["gcc"] > 0.45
+    for stable in ("hmmer", "sjeng", "zeusmp", "milc", "cactusADM"):
+        assert probabilities[stable] < 0.25, stable
+    assert probabilities["bzip2"] > 2.5 * probabilities["hmmer"]

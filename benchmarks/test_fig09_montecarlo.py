@@ -1,0 +1,62 @@
+"""Figure 9: Monte Carlo failure probability of a single block vs the
+number of injected faults, for ECP-6 / SAFER-32 / Aegis 17x31 and a
+range of compressed data sizes."""
+
+import numpy as np
+
+from repro.correction import aegis17x31, ecp6, safer32
+from repro.faultinjection import failure_probability, tolerable_faults
+
+
+def test_fig09_failure_probability_surfaces(benchmark, report, bench_scale):
+    trials = bench_scale["trials"]
+    schemes = (ecp6(), safer32(), aegis17x31())
+    sizes = (1, 16, 32, 40, 64)
+    fault_counts = tuple(range(0, 129, 16))
+
+    def measure():
+        rng = np.random.default_rng(0)
+        surfaces = {}
+        for scheme in schemes:
+            grid = {}
+            for size in sizes:
+                grid[size] = [
+                    failure_probability(
+                        scheme, size, count, trials, rng
+                    ).failure_probability
+                    for count in fault_counts
+                ]
+            surfaces[scheme.name] = grid
+        crossings = {
+            scheme.name: tolerable_faults(
+                scheme, 32, trials=max(60, trials // 2), seed=3
+            )
+            for scheme in schemes
+        }
+        return surfaces, crossings
+
+    surfaces, crossings = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    lines = []
+    header = "faults:    " + "".join(f"{count:>6}" for count in fault_counts)
+    for scheme_name, grid in surfaces.items():
+        lines.append(f"--- {scheme_name} (P[block failure]) ---")
+        lines.append(header)
+        for size in sizes:
+            row = "".join(f"{p:6.2f}" for p in grid[size])
+            lines.append(f"  {size:3d}B   {row}")
+    lines.append("")
+    lines.append("tolerable faults at 32B data, P(fail)=0.5 "
+                 "(paper: ECP-6 ~18, SAFER-32 ~38, Aegis ~41):")
+    for name, value in crossings.items():
+        lines.append(f"  {name:12}: {value:.1f}")
+    report("fig09_montecarlo_failure_probability", "\n".join(lines))
+
+    # Shape checks: smaller data tolerates more faults; advanced schemes
+    # beat ECP; the 32-byte crossings keep the paper's ordering.
+    for grid in surfaces.values():
+        assert grid[64][-1] == 1.0  # 128 faults kill full-line storage
+        assert grid[1][2] <= grid[64][2]  # 1B vs 64B at 32 faults
+    assert 12 <= crossings["ecp6"] <= 28
+    assert crossings["safer32"] > 1.4 * crossings["ecp6"]
+    assert crossings["aegis17x31"] > 1.4 * crossings["ecp6"]

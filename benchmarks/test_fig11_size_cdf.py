@@ -1,0 +1,35 @@
+"""Figure 11: CDF of each address's largest compressed write, for gcc
+(spread out) vs milc (bottom-heavy)."""
+
+from repro.analysis import cdf_fraction_below, fig11_max_size_cdf
+from repro.traces import get_profile
+
+
+def test_fig11_max_compressed_size_cdf(benchmark, report, bench_scale):
+    def measure():
+        return {
+            name: fig11_max_size_cdf(
+                get_profile(name),
+                n_lines=128,
+                writes=2 * bench_scale["writes"],
+                seed=0,
+            )
+            for name in ("gcc", "milc")
+        }
+
+    cdfs = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    lines = []
+    for name, (values, cumulative) in cdfs.items():
+        lines.append(f"--- {name}: CDF of per-address max compressed size ---")
+        for threshold in (8, 16, 25, 32, 40, 48, 56, 64):
+            fraction = cdf_fraction_below(values, cumulative, threshold + 0.5)
+            lines.append(f"  <= {threshold:2d}B : {fraction:6.1%}")
+    lines.append("paper: ~80% of milc addresses < 25B; only ~10% for gcc")
+    report("fig11_max_size_cdf", "\n".join(lines))
+
+    milc_below = cdf_fraction_below(*cdfs["milc"], 25)
+    gcc_below = cdf_fraction_below(*cdfs["gcc"], 25)
+    assert milc_below > 0.5
+    assert gcc_below < 0.35
+    assert milc_below > 2 * gcc_below

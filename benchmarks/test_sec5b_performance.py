@@ -1,0 +1,60 @@
+"""Section V-B: performance overhead of decompression on the read path
+(paper: read latency +<=2% on average, end-to-end slowdown < 0.3%)."""
+
+import numpy as np
+
+from repro.perf import (
+    LatencyModel,
+    PerformanceModel,
+    read_latency_overhead_queued,
+)
+from repro.traces import PROFILES, WORKLOAD_ORDER
+
+
+def test_sec5b_performance_overhead(benchmark, report, bench_scale):
+    model = PerformanceModel()
+
+    def measure():
+        analytic = [
+            model.report(
+                PROFILES[name],
+                n_lines=64,
+                samples=bench_scale["writes"] // 4,
+                seed=1,
+            )
+            for name in WORKLOAD_ORDER
+        ]
+        _, _, queued = read_latency_overhead_queued(
+            n_requests=10_000, mean_interarrival_ns=80.0, seed=1
+        )
+        return analytic, queued
+
+    reports, queued_overhead = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    latency = LatencyModel()
+    lines = [
+        f"base read latency: {latency.read_latency().total_ns:.1f} ns; "
+        f"+BDI {latency.read_latency('bdi').decompression_ns:.1f} ns, "
+        f"+FPC {latency.read_latency('fpc').decompression_ns:.1f} ns",
+        f"{'workload':12}{'read overhead':>15}{'slowdown':>11}",
+    ]
+    for item in reports:
+        lines.append(
+            f"{item.workload:12}{item.read_latency_overhead:15.2%}"
+            f"{item.slowdown:11.3%}"
+        )
+    mean_overhead = float(np.mean([r.read_latency_overhead for r in reports]))
+    mean_slowdown = float(np.mean([r.slowdown for r in reports]))
+    lines.append(f"{'Average':12}{mean_overhead:15.2%}{mean_slowdown:11.3%}")
+    lines.append(
+        f"event-driven queueing model (bank contention + write drains): "
+        f"{queued_overhead:.2%} read overhead"
+    )
+    lines.append("paper: read overhead up to ~2% avg; slowdown < 0.3%")
+    report("sec5b_performance_overhead", "\n".join(lines))
+
+    assert mean_overhead <= 0.02
+    assert mean_slowdown < 0.003
+    assert 0.0 <= queued_overhead < 0.02
+    for item in reports:
+        assert item.read_latency_overhead >= 0.0

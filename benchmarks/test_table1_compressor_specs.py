@@ -1,0 +1,40 @@
+"""Table I: characteristics of the BDI and FPC compressors."""
+
+from repro.compression import BDICompressor, BestOfCompressor, FPCCompressor
+from repro.traces import PayloadModel
+
+import numpy as np
+
+
+def test_table1_compressor_specs(benchmark, report):
+    def build():
+        bdi = BDICompressor()
+        fpc = FPCCompressor()
+        model = PayloadModel(np.random.default_rng(0))
+        best = BestOfCompressor()
+        # Exercise the documented size ranges.
+        bdi_sizes = {best.members[0].compress(model.make_bdi(v)).size_bytes
+                     for v in ("zeros", "rep8", "b8d1", "b8d2", "b8d4")}
+        fpc_bits = [fpc.compress(model.make_fpc(r)).size_bits for r in range(17)]
+        return bdi, fpc, bdi_sizes, fpc_bits
+
+    bdi, fpc, bdi_sizes, fpc_bits = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    lines = [
+        f"{'':28}{'FPC':>12}{'BDI':>12}",
+        f"{'Target values':28}{'patterns':>12}{'narrow vals':>12}",
+        f"{'Input chunk size':28}{'4 bytes':>12}{'64 bytes':>12}",
+        f"{'Compression size':28}{'3-8 bits':>12}{'1-40 bytes':>12}",
+        f"{'Decompression latency':28}"
+        f"{fpc.decompression_latency_cycles:>9} cyc"
+        f"{bdi.decompression_latency_cycles:>9} cyc",
+        "",
+        f"measured BDI sizes (bytes): {sorted(bdi_sizes)}",
+        f"measured FPC zero-word cost: {min(fpc_bits)} bits/line (3-bit prefixed runs)",
+    ]
+    report("table1_compressor_specs", "\n".join(lines))
+
+    # Paper's Table I values.
+    assert bdi.decompression_latency_cycles == 1
+    assert fpc.decompression_latency_cycles == 5
+    assert min(bdi_sizes) == 1 and max(bdi_sizes) == 40

@@ -1,0 +1,44 @@
+"""Table II: the simulated system configuration."""
+
+from repro.core import comp_wf
+from repro.pcm import (
+    CHIPS_PER_RANK,
+    PAPER_ENDURANCE_COV,
+    PAPER_ENDURANCE_MEAN,
+    MemoryOrganization,
+    PCMTimings,
+)
+
+
+def test_table2_system_configuration(benchmark, report):
+    def build():
+        return MemoryOrganization(), PCMTimings(), comp_wf()
+
+    organization, timings, config = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    lines = [
+        "PCM main memory (Table II)",
+        f"  capacity            : {organization.capacity_bytes / 2**30:.0f} GB "
+        f"({organization.total_lines} x {organization.line_bytes}B lines)",
+        f"  channels            : {organization.channels}, "
+        f"{organization.dimms_per_channel} DIMM/channel, "
+        f"{organization.ranks_per_dimm} rank/DIMM, "
+        f"{CHIPS_PER_RANK} chips/rank (8 data + 1 ECC)",
+        f"  banks               : {organization.banks_per_rank} per rank",
+        f"  array timing        : read {timings.read_ns}ns, "
+        f"RESET {timings.reset_ns}ns, SET {timings.set_ns}ns",
+        f"  interface           : {timings.bus_mhz:.0f} MHz, "
+        f"tRCD={timings.t_rcd}, tCL={timings.t_cl}, tWL={timings.t_wl}, "
+        f"burst={timings.burst_length}",
+        f"  endurance           : mean {PAPER_ENDURANCE_MEAN:.0e}, "
+        f"CoV {PAPER_ENDURANCE_COV}",
+        "Controller (proposed design)",
+        f"  correction scheme   : {config.correction_scheme}",
+        f"  Start-Gap psi       : {config.start_gap_psi}",
+        f"  heuristic thresholds: T1={config.threshold1}B, T2={config.threshold2}B",
+    ]
+    report("table2_system_configuration", "\n".join(lines))
+
+    assert organization.capacity_bytes == 4 * 2**30
+    assert timings.read_ns == 48.0
+    assert config.correction_scheme == "ecp6"

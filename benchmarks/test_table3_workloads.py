@@ -1,0 +1,36 @@
+"""Table III: workload characteristics (WPKI, CR, class), measured."""
+
+import numpy as np
+
+from repro.compression import BestOfCompressor
+from repro.traces import PROFILES, WORKLOAD_ORDER, SyntheticWorkload
+
+
+def test_table3_workload_characteristics(benchmark, report, bench_scale):
+    compressor = BestOfCompressor()
+    writes = bench_scale["writes"]
+
+    def measure():
+        rows = []
+        for name in WORKLOAD_ORDER:
+            profile = PROFILES[name]
+            generator = SyntheticWorkload(profile, n_lines=128, seed=1)
+            sizes = [
+                compressor.compress(write.data).size_bytes
+                for write in generator.iter_writes(writes)
+            ]
+            rows.append((profile, float(np.mean(sizes)) / 64))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    lines = [f"{'workload':12}{'WPKI':>7}{'CR (paper)':>12}{'CR (measured)':>15}{'class':>7}"]
+    for profile, measured in rows:
+        lines.append(
+            f"{profile.name:12}{profile.wpki:7.2f}{profile.cr:12.2f}"
+            f"{measured:15.2f}{profile.comp_class.value:>7}"
+        )
+    report("table3_workload_characteristics", "\n".join(lines))
+
+    for profile, measured in rows:
+        assert abs(measured - profile.cr) < 0.1, profile.name

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Compression explorer: per-workload compressibility statistics.
+
+Prints, for each requested workload, the Figure 3 / Figure 6 /
+Figure 11 statistics of its synthetic write-back stream: mean
+compressed size under BDI, FPC and best-of-both; the probability that
+consecutive writes change size; and the per-address max-size CDF.
+
+Examples:
+  python examples/compression_explorer.py --workloads milc gcc bzip2
+"""
+
+import argparse
+
+from repro.analysis import (
+    cdf_fraction_below,
+    fig3_compressed_sizes,
+    fig6_size_change_probability,
+    fig11_max_size_cdf,
+)
+from repro.traces import WORKLOAD_ORDER, get_profile
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workloads", nargs="+", default=["milc", "gcc", "bzip2"],
+                        choices=sorted(WORKLOAD_ORDER))
+    parser.add_argument("--writes", type=int, default=4000)
+    parser.add_argument("--seed", type=int, default=0)
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    for name in args.workloads:
+        profile = get_profile(name)
+        row = fig3_compressed_sizes(profile, writes=args.writes, seed=args.seed)
+        change = fig6_size_change_probability(
+            profile, writes=args.writes, seed=args.seed
+        )
+        values, cumulative = fig11_max_size_cdf(
+            profile, writes=args.writes, seed=args.seed
+        )
+
+        print(f"== {name} (Table III: WPKI={profile.wpki}, CR={profile.cr}, "
+              f"class={profile.comp_class.value}) ==")
+        print(f"   mean compressed size: BDI {row.bdi:5.1f}B | "
+              f"FPC {row.fpc:5.1f}B | BEST {row.best:5.1f}B "
+              f"(CR {row.best_ratio:.2f})")
+        print(f"   P(consecutive writes change size): {change:.2f}")
+        ladder = "   max-size CDF: " + "  ".join(
+            f"<= {threshold}B:{cdf_fraction_below(values, cumulative, threshold + 0.5):5.0%}"
+            for threshold in (8, 16, 25, 40, 64)
+        )
+        print(ladder)
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Fault-tolerance study: how many stuck-at faults can a block absorb?
+
+Reproduces Figure 9's analysis interactively: for each correction
+scheme (ECP-6, SAFER-32, Aegis 17x31) and a range of compressed data
+sizes, Monte Carlo fault injection estimates the fault count at which a
+block's failure probability crosses 50%.
+
+Examples:
+  python examples/fault_tolerance_study.py
+  python examples/fault_tolerance_study.py --sizes 8 32 64 --trials 400
+"""
+
+import argparse
+
+from repro.correction import PAPER_SCHEMES, make_scheme
+from repro.faultinjection import tolerable_faults
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sizes", nargs="+", type=int, default=[8, 16, 32, 48, 64],
+                        help="compressed data sizes (bytes)")
+    parser.add_argument("--trials", type=int, default=150,
+                        help="Monte Carlo trials per point")
+    parser.add_argument("--target", type=float, default=0.5,
+                        help="failure-probability threshold")
+    parser.add_argument("--seed", type=int, default=0)
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    schemes = [make_scheme(name) for name in PAPER_SCHEMES]
+
+    header = f"{'data size':>10}" + "".join(f"{s.name:>14}" for s in schemes)
+    print(f"tolerable faults per 512-bit block at P(fail)={args.target}")
+    print(header)
+    print("-" * len(header))
+    for size in args.sizes:
+        row = f"{size:>9}B"
+        for scheme in schemes:
+            value = tolerable_faults(
+                scheme, size, target_probability=args.target,
+                trials=args.trials, seed=args.seed,
+            )
+            row += f"{value:14.1f}"
+        print(row)
+    print("\npaper (32B row): ECP-6 ~18, SAFER-32 ~38, Aegis ~41")
+    print("smaller windows -> more usable cells to slide into -> more faults")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Reproduction of "Exploring the Potential for Collaborative Data
+Compression and Hard-Error Tolerance in PCM Memories" (DSN 2017).
+
+Quick tour of the public API::
+
+    from repro.compression import BestOfCompressor
+    from repro.core import comp_wf, CompressedPCMController
+    from repro.lifetime import run_system_comparison
+    from repro.faultinjection import tolerable_faults
+    from repro.traces import get_profile, SyntheticWorkload
+
+See README.md for a walkthrough and DESIGN.md for the system inventory
+and the per-figure experiment index.
+"""
+
+__version__ = "1.0.0"
+
+from . import (
+    analysis,
+    compression,
+    core,
+    correction,
+    faultinjection,
+    lifetime,
+    pcm,
+    perf,
+    traces,
+    wearleveling,
+)
+
+__all__ = [
+    "__version__",
+    "analysis",
+    "compression",
+    "core",
+    "correction",
+    "faultinjection",
+    "lifetime",
+    "pcm",
+    "perf",
+    "traces",
+    "wearleveling",
+]

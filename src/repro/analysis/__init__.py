@@ -1,0 +1,51 @@
+"""Per-figure/table experiment entry points (see DESIGN.md's index)."""
+
+from .figures import (
+    CompressedSizeRow,
+    cdf_fraction_below,
+    fig3_compressed_sizes,
+    fig6_size_change_probability,
+    fig7_size_trajectories,
+    fig11_max_size_cdf,
+)
+from .flips import (
+    UNTOUCHED_BAND,
+    FlipClassification,
+    classify_flip_impact,
+    hot_block_flip_series,
+)
+from .lifetime_study import (
+    WorkloadStudy,
+    geometric_mean_normalized,
+    high_variation_study,
+    run_full_study,
+    run_workload_study,
+)
+
+__all__ = [
+    "UNTOUCHED_BAND",
+    "CompressedSizeRow",
+    "FlipClassification",
+    "WorkloadStudy",
+    "cdf_fraction_below",
+    "classify_flip_impact",
+    "fig3_compressed_sizes",
+    "fig6_size_change_probability",
+    "fig7_size_trajectories",
+    "fig11_max_size_cdf",
+    "geometric_mean_normalized",
+    "high_variation_study",
+    "hot_block_flip_series",
+    "run_full_study",
+    "run_workload_study",
+]
+
+from .ascii_charts import (  # noqa: E402
+    bar_chart,
+    cdf_plot,
+    sparkline,
+    wear_imbalance,
+    wear_map,
+)
+
+__all__ += ["bar_chart", "cdf_plot", "sparkline", "wear_imbalance", "wear_map"]

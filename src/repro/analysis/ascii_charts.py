@@ -1,0 +1,114 @@
+"""Terminal-friendly chart rendering for examples and benchmark reports.
+
+Pure-text output (no plotting dependencies): horizontal bar charts,
+empirical-CDF staircases, sparklines, and per-cell wear heatmaps.  The
+wear map is the most instructive: it shows compression concentrating
+flips at the least-significant bytes under Comp and the rotation
+spreading them under Comp+W (Section V-A's non-uniformity story).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+_SHADES = " .:-=+*#%@"
+
+
+def _shade(value: float, top: float) -> str:
+    if top <= 0:
+        return _SHADES[0]
+    index = int(min(value, top) / top * (len(_SHADES) - 1))
+    return _SHADES[index]
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """A one-line intensity profile of a series."""
+    if not values:
+        return ""
+    step = max(1, len(values) // width)
+    sampled = list(values)[::step][:width]
+    top = max(max(sampled), 1e-12)
+    return "".join(_shade(value, top) for value in sampled)
+
+
+def bar_chart(
+    data: Mapping[str, float],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Horizontal bars, one per labelled value."""
+    if not data:
+        return ""
+    top = max(max(data.values()), 1e-12)
+    label_width = max(len(label) for label in data)
+    lines = []
+    for label, value in data.items():
+        bar = "#" * max(1, round(value / top * width)) if value > 0 else ""
+        lines.append(f"{label:<{label_width}} |{bar:<{width}} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def cdf_plot(
+    values: np.ndarray,
+    cumulative: np.ndarray,
+    width: int = 48,
+    height: int = 10,
+) -> str:
+    """A staircase rendering of an empirical CDF."""
+    if values.size == 0:
+        return ""
+    grid = [[" "] * width for _ in range(height)]
+    low, high = float(values[0]), float(values[-1])
+    span = max(high - low, 1e-12)
+    for value, fraction in zip(values, cumulative):
+        column = int((value - low) / span * (width - 1))
+        row = height - 1 - int(fraction * (height - 1))
+        grid[row][column] = "*"
+    lines = ["1.0 " + "".join(grid[0])]
+    lines.extend("    " + "".join(row) for row in grid[1:-1])
+    lines.append("0.0 " + "".join(grid[-1]))
+    lines.append(f"    {low:<8.0f}{'':^{max(0, width - 16)}}{high:>8.0f}")
+    return "\n".join(lines)
+
+
+def wear_map(
+    counts: np.ndarray,
+    cells_per_row: int = 64,
+    label: str = "",
+) -> str:
+    """Per-cell wear rendered as a shaded grid.
+
+    Args:
+        counts: Per-cell program counts; either one line's 512 cells or
+            a (blocks, cells) matrix, which is averaged over blocks.
+        cells_per_row: Grid width (64 puts one byte per 8 columns).
+        label: Optional heading.
+    """
+    array = np.asarray(counts, dtype=float)
+    if array.ndim == 2:
+        array = array.mean(axis=0)
+    if array.size % cells_per_row != 0:
+        raise ValueError(
+            f"{array.size} cells do not fold into rows of {cells_per_row}"
+        )
+    top = max(float(array.max()), 1e-12)
+    rows = array.reshape(-1, cells_per_row)
+    lines = []
+    if label:
+        lines.append(label)
+    for index, row in enumerate(rows):
+        rendered = "".join(_shade(value, top) for value in row)
+        lines.append(f"  bits {index * cells_per_row:4d}+ |{rendered}|")
+    lines.append(f"  (max {top:.0f} programs/cell; scale '{_SHADES.strip()}')")
+    return "\n".join(lines)
+
+
+def wear_imbalance(counts: np.ndarray) -> float:
+    """Coefficient of variation of per-cell wear (0 = perfectly even)."""
+    array = np.asarray(counts, dtype=float).reshape(-1)
+    mean = array.mean()
+    if mean == 0:
+        return 0.0
+    return float(array.std() / mean)

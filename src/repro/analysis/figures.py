@@ -1,0 +1,127 @@
+"""Compression-statistics experiments: Figures 3, 6, 7 and 11.
+
+Each function regenerates one figure's data series from the synthetic
+workloads; the corresponding benchmark prints them next to the paper's
+reference values (EXPERIMENTS.md holds the comparison).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..compression import (
+    BestOfCompressor,
+    size_cdf,
+    size_change_probability,
+)
+from ..traces import SyntheticWorkload, WorkloadProfile
+
+
+@dataclass(frozen=True)
+class CompressedSizeRow:
+    """One Figure 3 bar group: mean compressed size per compressor."""
+
+    workload: str
+    bdi: float
+    fpc: float
+    best: float
+
+    @property
+    def best_ratio(self) -> float:
+        """BEST's compression ratio (size / 64)."""
+        return self.best / 64.0
+
+
+def fig3_compressed_sizes(
+    profile: WorkloadProfile,
+    n_lines: int = 128,
+    writes: int = 3000,
+    seed: int = 0,
+    compressor: BestOfCompressor | None = None,
+) -> CompressedSizeRow:
+    """Average BDI / FPC / BEST compressed size over the write stream."""
+    compressor = compressor or BestOfCompressor()
+    generator = SyntheticWorkload(profile, n_lines=n_lines, seed=seed)
+    sums = {"bdi": 0, "fpc": 0, "best": 0}
+    for write in generator.iter_writes(writes):
+        results = compressor.compress_all(write.data)
+        sizes = {name: min(64, result.size_bytes) for name, result in results.items()}
+        sums["bdi"] += sizes["bdi"]
+        sums["fpc"] += sizes["fpc"]
+        sums["best"] += min(sizes.values())
+    return CompressedSizeRow(
+        workload=profile.name,
+        bdi=sums["bdi"] / writes,
+        fpc=sums["fpc"] / writes,
+        best=sums["best"] / writes,
+    )
+
+
+def fig6_size_change_probability(
+    profile: WorkloadProfile,
+    n_lines: int = 128,
+    writes: int = 6000,
+    seed: int = 0,
+    compressor: BestOfCompressor | None = None,
+) -> float:
+    """Probability that consecutive same-block writes change size."""
+    compressor = compressor or BestOfCompressor()
+    generator = SyntheticWorkload(profile, n_lines=n_lines, seed=seed)
+    per_line: dict[int, list[int]] = {}
+    for write in generator.iter_writes(writes):
+        size = compressor.compress(write.data).size_bytes
+        per_line.setdefault(write.line, []).append(size)
+    rates = [
+        size_change_probability(sizes)
+        for sizes in per_line.values()
+        if len(sizes) > 3
+    ]
+    return float(np.mean(rates)) if rates else 0.0
+
+
+def fig7_size_trajectories(
+    profile: WorkloadProfile,
+    n_blocks: int = 3,
+    n_lines: int = 128,
+    writes: int = 8000,
+    seed: int = 0,
+    compressor: BestOfCompressor | None = None,
+) -> dict[int, list[int]]:
+    """Per-write compressed sizes of the hottest blocks (Figure 7)."""
+    compressor = compressor or BestOfCompressor()
+    generator = SyntheticWorkload(profile, n_lines=n_lines, seed=seed)
+    per_line: dict[int, list[int]] = {}
+    for write in generator.iter_writes(writes):
+        size = compressor.compress(write.data).size_bytes
+        per_line.setdefault(write.line, []).append(size)
+    hottest = sorted(per_line, key=lambda line: len(per_line[line]), reverse=True)
+    return {line: per_line[line] for line in hottest[:n_blocks]}
+
+
+def fig11_max_size_cdf(
+    profile: WorkloadProfile,
+    n_lines: int = 256,
+    writes: int = 8000,
+    seed: int = 0,
+    compressor: BestOfCompressor | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """CDF of each address's *largest* compressed write (Figure 11)."""
+    compressor = compressor or BestOfCompressor()
+    generator = SyntheticWorkload(profile, n_lines=n_lines, seed=seed)
+    max_size: dict[int, int] = {}
+    for write in generator.iter_writes(writes):
+        size = compressor.compress(write.data).size_bytes
+        max_size[write.line] = max(size, max_size.get(write.line, 0))
+    return size_cdf(list(max_size.values()))
+
+
+def cdf_fraction_below(
+    values: np.ndarray, cumulative: np.ndarray, threshold: float
+) -> float:
+    """Fraction of the CDF mass strictly below ``threshold`` bytes."""
+    below = values < threshold
+    if not below.any():
+        return 0.0
+    return float(cumulative[below][-1])

@@ -1,0 +1,126 @@
+"""Bit-flip analyses behind Figures 1 and 5.
+
+Figure 1 shows that under differential writes the per-write flip counts
+of one hot block are large and randomly scattered.  Figure 5 classifies
+every write-back by whether storing it *compressed* (payload at the
+window, rest of the line stale) produces more, fewer, or about the same
+(+-5 %) bit flips as storing it *uncompressed* -- the effect the
+Figure 8 heuristic exists to manage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..compression import BestOfCompressor
+from ..pcm import bytes_to_bits
+from ..core.window import place_bytes
+from ..traces import SyntheticWorkload, WorkloadProfile
+
+#: Figure 5's "untouched" band: within +-5 % of the uncompressed flips.
+UNTOUCHED_BAND = 0.05
+
+
+def hot_block_flip_series(
+    profile: WorkloadProfile,
+    n_lines: int = 128,
+    writes: int = 20_000,
+    seed: int = 0,
+) -> list[int]:
+    """Figure 1: DW flip counts for consecutive writes to a hot block.
+
+    Replays the workload, finds the most-written block, and reports the
+    differential-write flip count of each consecutive (uncompressed)
+    write to it.
+    """
+    generator = SyntheticWorkload(profile, n_lines=n_lines, seed=seed)
+    per_line: dict[int, list[bytes]] = {}
+    for write in generator.iter_writes(writes):
+        per_line.setdefault(write.line, []).append(write.data)
+    hot_line = max(per_line, key=lambda line: len(per_line[line]))
+    payloads = per_line[hot_line]
+
+    flips = []
+    previous = bytes_to_bits(bytes(64))
+    for payload in payloads:
+        current = bytes_to_bits(payload)
+        flips.append(int(np.count_nonzero(previous != current)))
+        previous = current
+    return flips
+
+
+@dataclass(frozen=True)
+class FlipClassification:
+    """Figure 5's three-way split for one workload."""
+
+    workload: str
+    increased: float
+    untouched: float
+    decreased: float
+    samples: int
+
+    def __post_init__(self) -> None:
+        total = self.increased + self.untouched + self.decreased
+        if self.samples and abs(total - 1.0) > 1e-6:
+            raise ValueError("fractions must sum to 1")
+
+
+def classify_flip_impact(
+    profile: WorkloadProfile,
+    n_lines: int = 128,
+    writes: int = 10_000,
+    seed: int = 0,
+    compressor: BestOfCompressor | None = None,
+) -> FlipClassification:
+    """Figure 5: per-write flip comparison, compressed vs uncompressed.
+
+    Both storage forms are simulated per block: the uncompressed image
+    is the raw 64 bytes; the compressed image keeps the payload at the
+    least-significant bytes with the remainder of the line holding
+    whatever was there before (the naive Comp layout).
+    """
+    compressor = compressor or BestOfCompressor()
+    generator = SyntheticWorkload(profile, n_lines=n_lines, seed=seed)
+
+    raw_state: dict[int, np.ndarray] = {}
+    comp_state: dict[int, np.ndarray] = {}
+    increased = untouched = decreased = 0
+    samples = 0
+
+    for write in generator.iter_writes(writes):
+        new_raw = bytes_to_bits(write.data)
+        result = compressor.compress(write.data)
+        payload = result.payload if result.size_bytes < 64 else write.data
+
+        old_raw = raw_state.get(write.line)
+        old_comp = comp_state.get(write.line)
+        if old_raw is not None:
+            flips_raw = int(np.count_nonzero(old_raw != new_raw))
+            new_comp = place_bytes(old_comp, payload, 0)
+            flips_comp = int(np.count_nonzero(old_comp != new_comp))
+            samples += 1
+            band = UNTOUCHED_BAND * flips_raw
+            if flips_comp > flips_raw + band:
+                increased += 1
+            elif flips_comp < flips_raw - band:
+                decreased += 1
+            else:
+                untouched += 1
+            comp_state[write.line] = new_comp
+        else:
+            comp_state[write.line] = place_bytes(
+                bytes_to_bits(bytes(64)).copy(), payload, 0
+            )
+        raw_state[write.line] = new_raw
+
+    if samples == 0:
+        return FlipClassification(profile.name, 0.0, 0.0, 0.0, 0)
+    return FlipClassification(
+        workload=profile.name,
+        increased=increased / samples,
+        untouched=untouched / samples,
+        decreased=decreased / samples,
+        samples=samples,
+    )

@@ -1,0 +1,216 @@
+"""Command-line interface: ``python -m repro <experiment> [options]``.
+
+Subcommands map to the paper's experiments:
+
+==============  =====================================================
+``lifetime``    Figure 10 / Table IV for chosen workloads and systems
+``montecarlo``  Figure 9 tolerable-fault crossings
+``compress``    Figures 3/6/11 compression statistics per workload
+``flips``       Figure 5 flip-direction split per workload
+``perf``        Section V-B read-latency / slowdown model
+``trace``       generate and save a synthetic write-back trace
+==============  =====================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from .analysis import (
+    cdf_fraction_below,
+    classify_flip_impact,
+    fig3_compressed_sizes,
+    fig6_size_change_probability,
+    fig11_max_size_cdf,
+    run_workload_study,
+)
+from .core import EVALUATED_SYSTEMS
+from .correction import PAPER_SCHEMES, make_scheme
+from .faultinjection import tolerable_faults
+from .perf import PerformanceModel
+from .traces import WORKLOAD_ORDER, SyntheticWorkload, get_profile, save_trace
+
+
+def _add_workloads_option(parser: argparse.ArgumentParser, default: list[str]) -> None:
+    parser.add_argument(
+        "--workloads", nargs="+", default=default,
+        choices=sorted(WORKLOAD_ORDER), metavar="APP",
+        help=f"workloads (default: {' '.join(default)})",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction experiments for the DSN'17 PCM "
+        "compression / hard-error-tolerance paper.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    lifetime = subparsers.add_parser("lifetime", help="Figure 10 / Table IV")
+    _add_workloads_option(lifetime, ["milc", "gcc"])
+    lifetime.add_argument("--systems", nargs="+", default=list(EVALUATED_SYSTEMS),
+                          choices=EVALUATED_SYSTEMS)
+    lifetime.add_argument("--lines", type=int, default=96)
+    lifetime.add_argument("--endurance", type=float, default=60.0)
+    lifetime.add_argument("--cov", type=float, default=0.15)
+    lifetime.add_argument("--seed", type=int, default=0)
+
+    montecarlo = subparsers.add_parser("montecarlo", help="Figure 9 crossings")
+    montecarlo.add_argument("--sizes", nargs="+", type=int, default=[16, 32, 64])
+    montecarlo.add_argument("--trials", type=int, default=150)
+    montecarlo.add_argument("--schemes", nargs="+", default=list(PAPER_SCHEMES))
+    montecarlo.add_argument("--seed", type=int, default=0)
+
+    compress = subparsers.add_parser("compress", help="Figures 3/6/11 statistics")
+    _add_workloads_option(compress, list(WORKLOAD_ORDER))
+    compress.add_argument("--writes", type=int, default=3000)
+    compress.add_argument("--seed", type=int, default=0)
+
+    flips = subparsers.add_parser("flips", help="Figure 5 flip split")
+    _add_workloads_option(flips, list(WORKLOAD_ORDER))
+    flips.add_argument("--writes", type=int, default=4000)
+    flips.add_argument("--seed", type=int, default=2)
+
+    perf = subparsers.add_parser("perf", help="Section V-B overheads")
+    _add_workloads_option(perf, list(WORKLOAD_ORDER))
+    perf.add_argument("--samples", type=int, default=1000)
+
+    trace = subparsers.add_parser("trace", help="generate a trace file")
+    trace.add_argument("workload", choices=sorted(WORKLOAD_ORDER))
+    trace.add_argument("output", help="output path (binary trace)")
+    trace.add_argument("--lines", type=int, default=1024)
+    trace.add_argument("--writes", type=int, default=100_000)
+    trace.add_argument("--seed", type=int, default=0)
+
+    report = subparsers.add_parser(
+        "report", help="print saved benchmark results (benchmarks/results/)"
+    )
+    report.add_argument("--results-dir", default="benchmarks/results")
+    report.add_argument("--only", nargs="*", default=None,
+                        help="substring filters on result names")
+
+    return parser
+
+
+def cmd_lifetime(args: argparse.Namespace) -> None:
+    """Run the Figure 10 / Table IV experiment."""
+    systems = tuple(args.systems)
+    if "baseline" not in systems:
+        systems = ("baseline",) + systems
+    print(f"{'workload':12}" + "".join(f"{s:>10}" for s in systems if s != "baseline")
+          + f"{'base months':>13}{'WF months':>11}")
+    for workload in args.workloads:
+        study = run_workload_study(
+            workload, systems=systems, n_lines=args.lines,
+            endurance_mean=args.endurance, endurance_cov=args.cov,
+            seed=args.seed,
+        )
+        row = f"{workload:12}"
+        for system in systems:
+            if system != "baseline":
+                row += f"{study.normalized[system]:10.2f}"
+        row += f"{study.months('baseline'):13.1f}"
+        wf = "comp_wf" if "comp_wf" in systems else systems[-1]
+        row += f"{study.months(wf):11.1f}"
+        print(row)
+
+
+def cmd_montecarlo(args: argparse.Namespace) -> None:
+    """Run the Figure 9 tolerable-fault experiment."""
+    schemes = [make_scheme(name) for name in args.schemes]
+    print(f"{'data size':>10}" + "".join(f"{s.name:>14}" for s in schemes))
+    for size in args.sizes:
+        row = f"{size:>9}B"
+        for scheme in schemes:
+            row += f"{tolerable_faults(scheme, size, trials=args.trials, seed=args.seed):14.1f}"
+        print(row)
+
+
+def cmd_compress(args: argparse.Namespace) -> None:
+    """Print Figures 3/6/11 compression statistics."""
+    print(f"{'workload':12}{'BDI':>7}{'FPC':>7}{'BEST':>7}{'CR':>6}"
+          f"{'P(size chg)':>13}{'<25B addr':>11}")
+    for name in args.workloads:
+        profile = get_profile(name)
+        row = fig3_compressed_sizes(profile, writes=args.writes, seed=args.seed)
+        change = fig6_size_change_probability(profile, writes=args.writes, seed=args.seed)
+        values, cumulative = fig11_max_size_cdf(profile, writes=args.writes, seed=args.seed)
+        below = cdf_fraction_below(values, cumulative, 25)
+        print(f"{name:12}{row.bdi:7.1f}{row.fpc:7.1f}{row.best:7.1f}"
+              f"{row.best_ratio:6.2f}{change:13.2f}{below:11.0%}")
+
+
+def cmd_flips(args: argparse.Namespace) -> None:
+    """Print the Figure 5 flip-direction split."""
+    print(f"{'workload':12}{'increased':>11}{'untouched':>11}{'decreased':>11}")
+    for name in args.workloads:
+        result = classify_flip_impact(
+            get_profile(name), writes=args.writes, seed=args.seed
+        )
+        print(f"{name:12}{result.increased:11.0%}{result.untouched:11.0%}"
+              f"{result.decreased:11.0%}")
+
+
+def cmd_perf(args: argparse.Namespace) -> None:
+    """Print the Section V-B overhead model outputs."""
+    model = PerformanceModel()
+    print(f"{'workload':12}{'read overhead':>15}{'slowdown':>11}")
+    for name in args.workloads:
+        report = model.report(get_profile(name), samples=args.samples)
+        print(f"{name:12}{report.read_latency_overhead:15.2%}{report.slowdown:11.3%}")
+
+
+def cmd_trace(args: argparse.Namespace) -> None:
+    """Generate and save a synthetic trace."""
+    generator = SyntheticWorkload(
+        get_profile(args.workload), n_lines=args.lines, seed=args.seed
+    )
+    trace = generator.generate_trace(args.writes)
+    save_trace(trace, args.output)
+    print(f"wrote {len(trace)} write-backs over {args.lines} lines "
+          f"to {args.output}")
+
+
+def cmd_report(args: argparse.Namespace) -> None:
+    """Print saved benchmark result files."""
+    from pathlib import Path
+
+    directory = Path(args.results_dir)
+    if not directory.is_dir():
+        print(f"no results at {directory}; run `pytest benchmarks/ "
+              "--benchmark-only` first")
+        return
+    for path in sorted(directory.glob("*.txt")):
+        if args.only and not any(token in path.stem for token in args.only):
+            continue
+        print("=" * 72)
+        print(path.stem)
+        print("=" * 72)
+        print(path.read_text().rstrip())
+        print()
+
+
+_COMMANDS = {
+    "lifetime": cmd_lifetime,
+    "montecarlo": cmd_montecarlo,
+    "compress": cmd_compress,
+    "flips": cmd_flips,
+    "perf": cmd_perf,
+    "trace": cmd_trace,
+    "report": cmd_report,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    _COMMANDS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,174 @@
+"""C-Pack: Cache Packer compression (Chen et al., IEEE TVLSI 2010).
+
+C-Pack combines static pattern coding with a small dynamically built
+dictionary: each 4-byte word is matched against fixed zero patterns
+and against the dictionary of recently seen unmatched words.
+
+======= ========================================== ===========
+code    pattern                                     output bits
+======= ========================================== ===========
+``00``  zzzz - all-zero word                        2
+``01``  xxxx - no match (verbatim word)             2 + 32
+``10``  mmmm - full dictionary match                2 + 4
+``1100`` mmxx - dictionary match on upper 2 bytes   4 + 4 + 16
+``1101`` zzzx - zero word except low byte           4 + 8
+``1110`` mmmx - dictionary match on upper 3 bytes   4 + 4 + 8
+======= ========================================== ===========
+
+The 16-entry FIFO dictionary starts empty for every line and is pushed
+with each word that fails a full match (xxxx, mmxx, mmmx), exactly as
+in the hardware design, so decompression can rebuild it in lockstep.
+
+Provided as an optional best-of member (the DSN'17 design is
+compressor-agnostic); see ``benchmarks/test_ablation_compressors.py``.
+"""
+
+from __future__ import annotations
+
+from .base import (
+    LINE_SIZE_BYTES,
+    CompressionError,
+    CompressionResult,
+    Compressor,
+)
+
+_WORD_BYTES = 4
+_WORDS_PER_LINE = LINE_SIZE_BYTES // _WORD_BYTES
+_BYTE_ORDER = "little"
+_DICT_SIZE = 16
+_INDEX_BITS = 4
+
+#: The single encoding id C-Pack reports (the bitstream is self-describing).
+ENC_CPACK = 0
+
+
+class _Dictionary:
+    """16-entry FIFO dictionary, identical on both sides."""
+
+    def __init__(self) -> None:
+        self._entries: list[int] = []
+
+    def lookup_full(self, word: int) -> int | None:
+        for index, entry in enumerate(self._entries):
+            if entry == word:
+                return index
+        return None
+
+    def lookup_prefix(self, word: int, prefix_bytes: int) -> int | None:
+        shift = 8 * (_WORD_BYTES - prefix_bytes)
+        target = word >> shift
+        for index, entry in enumerate(self._entries):
+            if entry >> shift == target:
+                return index
+        return None
+
+    def push(self, word: int) -> None:
+        if len(self._entries) >= _DICT_SIZE:
+            self._entries.pop(0)
+        self._entries.append(word)
+
+    def get(self, index: int) -> int:
+        if not 0 <= index < len(self._entries):
+            raise CompressionError(f"cpack: dictionary index {index} invalid")
+        return self._entries[index]
+
+
+class CPackCompressor(Compressor):
+    """C-Pack line compressor with a per-line FIFO dictionary."""
+
+    name = "cpack"
+    decompression_latency_cycles = 8  # serial dictionary replay
+    encoding_space = 1
+
+    def compress(self, data: bytes) -> CompressionResult:
+        """Compress one 64-byte line (see :class:`Compressor`)."""
+        self._check_input(data)
+        dictionary = _Dictionary()
+        bits = 0
+        bit_count = 0
+
+        def emit(value: int, width: int) -> None:
+            nonlocal bits, bit_count
+            bits = (bits << width) | (value & ((1 << width) - 1))
+            bit_count += width
+
+        for offset in range(0, LINE_SIZE_BYTES, _WORD_BYTES):
+            word = int.from_bytes(data[offset : offset + _WORD_BYTES], _BYTE_ORDER)
+            if word == 0:
+                emit(0b00, 2)
+                continue
+            full = dictionary.lookup_full(word)
+            if full is not None:
+                emit(0b10, 2)
+                emit(full, _INDEX_BITS)
+                continue
+            if word & 0xFFFFFF00 == 0:
+                emit(0b1101, 4)
+                emit(word, 8)
+                continue
+            three = dictionary.lookup_prefix(word, 3)
+            if three is not None:
+                emit(0b1110, 4)
+                emit(three, _INDEX_BITS)
+                emit(word & 0xFF, 8)
+                dictionary.push(word)
+                continue
+            two = dictionary.lookup_prefix(word, 2)
+            if two is not None:
+                emit(0b1100, 4)
+                emit(two, _INDEX_BITS)
+                emit(word & 0xFFFF, 16)
+                dictionary.push(word)
+                continue
+            emit(0b01, 2)
+            emit(word, 32)
+            dictionary.push(word)
+
+        padding = (-bit_count) % 8
+        payload = (bits << padding).to_bytes((bit_count + padding) // 8, "big")
+        return CompressionResult(self.name, ENC_CPACK, bit_count, payload)
+
+    def decompress(self, result: CompressionResult) -> bytes:
+        """Reconstruct the 64-byte line (see :class:`Compressor`)."""
+        self._check_result(result)
+        total_bits = len(result.payload) * 8
+        value = int.from_bytes(result.payload, "big")
+        position = 0
+
+        def read(width: int) -> int:
+            nonlocal position
+            if position + width > result.size_bits or position + width > total_bits:
+                raise CompressionError("cpack: truncated bitstream")
+            shift = total_bits - position - width
+            position += width
+            return (value >> shift) & ((1 << width) - 1)
+
+        dictionary = _Dictionary()
+        words: list[int] = []
+        while len(words) < _WORDS_PER_LINE:
+            code = read(2)
+            if code == 0b00:
+                words.append(0)
+            elif code == 0b01:
+                word = read(32)
+                words.append(word)
+                dictionary.push(word)
+            elif code == 0b10:
+                words.append(dictionary.get(read(_INDEX_BITS)))
+            else:  # 0b11xx family
+                sub = read(2)
+                if sub == 0b00:  # mmxx
+                    entry = dictionary.get(read(_INDEX_BITS))
+                    word = (entry & 0xFFFF0000) | read(16)
+                    words.append(word)
+                    dictionary.push(word)
+                elif sub == 0b01:  # zzzx
+                    words.append(read(8))
+                elif sub == 0b10:  # mmmx
+                    entry = dictionary.get(read(_INDEX_BITS))
+                    word = (entry & 0xFFFFFF00) | read(8)
+                    words.append(word)
+                    dictionary.push(word)
+                else:
+                    raise CompressionError(f"cpack: invalid code 11{sub:02b}")
+        return b"".join(word.to_bytes(_WORD_BYTES, _BYTE_ORDER) for word in words)

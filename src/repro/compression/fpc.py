@@ -1,0 +1,219 @@
+"""Frequent Pattern Compression (FPC).
+
+FPC (Alameldeen and Wood, ISCA 2004 -- the paper's reference [15])
+compresses a line word-by-word: each 4-byte word is matched against a
+small set of frequently occurring patterns and replaced by a 3-bit
+prefix plus the minimal payload needed to reconstruct it.
+
+========= ======================================== =============
+prefix    pattern                                   payload bits
+========= ======================================== =============
+``000``   run of 1..8 zero words                    3 (run length)
+``001``   4-bit sign-extended word                  4
+``010``   one-byte sign-extended word               8
+``011``   halfword sign-extended word               16
+``100``   halfword padded with a zero halfword      16
+``101``   two halfwords, each a sign-extended byte  16
+``110``   word of four repeated bytes               8
+``111``   uncompressed word                         32
+========= ======================================== =============
+
+This matches Table I of the PCM paper: a 4-byte chunk compresses to as
+few as 3 bits (a zero word absorbed into a run) and decompression takes
+5 cycles.
+"""
+
+from __future__ import annotations
+
+from .base import (
+    LINE_SIZE_BYTES,
+    CompressionError,
+    CompressionResult,
+    Compressor,
+)
+
+_WORD_BYTES = 4
+_WORDS_PER_LINE = LINE_SIZE_BYTES // _WORD_BYTES
+_BYTE_ORDER = "little"
+
+_PREFIX_BITS = 3
+_PREFIX_ZERO_RUN = 0b000
+_PREFIX_SE4 = 0b001
+_PREFIX_SE8 = 0b010
+_PREFIX_SE16 = 0b011
+_PREFIX_HI_HALF = 0b100
+_PREFIX_TWO_BYTES = 0b101
+_PREFIX_REPEATED = 0b110
+_PREFIX_UNCOMPRESSED = 0b111
+
+_MAX_ZERO_RUN = 8
+
+#: The single encoding id FPC reports (the bitstream is self-describing).
+ENC_FPC = 0
+
+
+class _BitWriter:
+    """Append-only MSB-first bit buffer."""
+
+    def __init__(self) -> None:
+        self._value = 0
+        self.bit_count = 0
+
+    def write(self, value: int, width: int) -> None:
+        self._value = (self._value << width) | (value & ((1 << width) - 1))
+        self.bit_count += width
+
+    def to_bytes(self) -> bytes:
+        pad = (-self.bit_count) % 8
+        return ((self._value << pad)).to_bytes((self.bit_count + pad) // 8, "big")
+
+
+class _BitReader:
+    """MSB-first bit reader over a packed payload."""
+
+    def __init__(self, payload: bytes, bit_count: int) -> None:
+        self._value = int.from_bytes(payload, "big")
+        self._total = len(payload) * 8
+        # A payload shorter than the advertised bit count is corrupt;
+        # clamping makes every subsequent read fail loudly.
+        self._limit = min(bit_count, self._total)
+        self._position = 0
+
+    def read(self, width: int) -> int:
+        if self._position + width > self._limit:
+            raise CompressionError("fpc: truncated bitstream")
+        shift = self._total - self._position - width
+        self._position += width
+        return (self._value >> shift) & ((1 << width) - 1)
+
+
+def _sign_extends(value: int, bits: int) -> bool:
+    """Whether the signed 32-bit ``value`` fits in ``bits`` signed bits."""
+    limit = 1 << (bits - 1)
+    return -limit <= value < limit
+
+
+def _to_signed32(word: int) -> int:
+    return word - (1 << 32) if word >= (1 << 31) else word
+
+
+class FPCCompressor(Compressor):
+    """Frequent Pattern Compression line compressor."""
+
+    name = "fpc"
+    decompression_latency_cycles = 5
+    encoding_space = 1  # the bitstream is self-describing
+
+    def compress(self, data: bytes) -> CompressionResult:
+        """Compress one 64-byte line (see :class:`Compressor`)."""
+        self._check_input(data)
+        words = [
+            int.from_bytes(data[offset : offset + _WORD_BYTES], _BYTE_ORDER)
+            for offset in range(0, LINE_SIZE_BYTES, _WORD_BYTES)
+        ]
+
+        writer = _BitWriter()
+        index = 0
+        while index < _WORDS_PER_LINE:
+            word = words[index]
+            if word == 0:
+                run = 1
+                while (
+                    index + run < _WORDS_PER_LINE
+                    and words[index + run] == 0
+                    and run < _MAX_ZERO_RUN
+                ):
+                    run += 1
+                writer.write(_PREFIX_ZERO_RUN, _PREFIX_BITS)
+                writer.write(run - 1, 3)
+                index += run
+                continue
+            self._encode_word(writer, word)
+            index += 1
+
+        return CompressionResult(self.name, ENC_FPC, writer.bit_count, writer.to_bytes())
+
+    def decompress(self, result: CompressionResult) -> bytes:
+        """Reconstruct the 64-byte line (see :class:`Compressor`)."""
+        self._check_result(result)
+        reader = _BitReader(result.payload, result.size_bits)
+        words: list[int] = []
+        while len(words) < _WORDS_PER_LINE:
+            prefix = reader.read(_PREFIX_BITS)
+            words.extend(self._decode_word(reader, prefix))
+        if len(words) != _WORDS_PER_LINE:
+            raise CompressionError("fpc: bitstream decodes to a wrong word count")
+        return b"".join(word.to_bytes(_WORD_BYTES, _BYTE_ORDER) for word in words)
+
+    def _encode_word(self, writer: _BitWriter, word: int) -> None:
+        signed = _to_signed32(word)
+        if _sign_extends(signed, 4):
+            writer.write(_PREFIX_SE4, _PREFIX_BITS)
+            writer.write(signed, 4)
+        elif _sign_extends(signed, 8):
+            writer.write(_PREFIX_SE8, _PREFIX_BITS)
+            writer.write(signed, 8)
+        elif _sign_extends(signed, 16):
+            writer.write(_PREFIX_SE16, _PREFIX_BITS)
+            writer.write(signed, 16)
+        elif word & 0xFFFF == 0:
+            writer.write(_PREFIX_HI_HALF, _PREFIX_BITS)
+            writer.write(word >> 16, 16)
+        elif self._both_halves_byte_extend(word):
+            writer.write(_PREFIX_TWO_BYTES, _PREFIX_BITS)
+            writer.write((word >> 16) & 0xFF, 8)
+            writer.write(word & 0xFF, 8)
+        elif self._repeated_bytes(word):
+            writer.write(_PREFIX_REPEATED, _PREFIX_BITS)
+            writer.write(word & 0xFF, 8)
+        else:
+            writer.write(_PREFIX_UNCOMPRESSED, _PREFIX_BITS)
+            writer.write(word, 32)
+
+    def _decode_word(self, reader: _BitReader, prefix: int) -> list[int]:
+        if prefix == _PREFIX_ZERO_RUN:
+            run = reader.read(3) + 1
+            return [0] * run
+        if prefix == _PREFIX_SE4:
+            return [self._sign_extend(reader.read(4), 4)]
+        if prefix == _PREFIX_SE8:
+            return [self._sign_extend(reader.read(8), 8)]
+        if prefix == _PREFIX_SE16:
+            return [self._sign_extend(reader.read(16), 16)]
+        if prefix == _PREFIX_HI_HALF:
+            return [reader.read(16) << 16]
+        if prefix == _PREFIX_TWO_BYTES:
+            high = self._sign_extend_16(reader.read(8))
+            low = self._sign_extend_16(reader.read(8))
+            return [((high & 0xFFFF) << 16) | (low & 0xFFFF)]
+        if prefix == _PREFIX_REPEATED:
+            byte = reader.read(8)
+            return [byte * 0x01010101]
+        if prefix == _PREFIX_UNCOMPRESSED:
+            return [reader.read(32)]
+        raise CompressionError(f"fpc: invalid prefix {prefix:03b}")
+
+    @staticmethod
+    def _both_halves_byte_extend(word: int) -> bool:
+        for half in ((word >> 16) & 0xFFFF, word & 0xFFFF):
+            signed = half - (1 << 16) if half >= (1 << 15) else half
+            if not _sign_extends(signed, 8):
+                return False
+        return True
+
+    @staticmethod
+    def _repeated_bytes(word: int) -> bool:
+        byte = word & 0xFF
+        return word == byte * 0x01010101
+
+    @staticmethod
+    def _sign_extend(value: int, bits: int) -> int:
+        if value >= (1 << (bits - 1)):
+            value -= 1 << bits
+        return value & 0xFFFFFFFF
+
+    @staticmethod
+    def _sign_extend_16(value: int) -> int:
+        if value >= 0x80:
+            value -= 0x100
+        return value & 0xFFFF

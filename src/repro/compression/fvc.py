@@ -1,0 +1,131 @@
+"""Frequent Value Compression (FVC).
+
+FVC (Yang, Zhang, Gupta, MICRO 2000 -- the paper's reference [14])
+exploits the observation that a small number of distinct 32-bit values
+(zero, small constants, common pointers) account for a large share of
+memory contents.  A small dictionary of frequent values is maintained;
+each word is stored either as a short dictionary index or verbatim.
+
+Encoding per 4-byte word: a 1-bit flag plus either ``log2(dict size)``
+index bits (hit) or 32 bits (miss).  With the default 8-entry
+dictionary a fully frequent line costs 16 x (1 + 3) = 64 bits = 8
+bytes, and a fully infrequent line costs 16 x 33 bits = 66 bytes --
+which the best-of policy simply never picks.
+
+The DSN'17 paper's design is compressor-agnostic ("our proposed design
+assumes that any prior compression algorithm ... can be used"); FVC is
+provided as a third member for the best-of policy and for the member-set
+ablation (``benchmarks/test_ablation_compressors.py``).
+
+The dictionary must be identical at compression and decompression time.
+We use the static profile common in hardware proposals: zero, the
+all-ones word, small integers, and sign-extension patterns.  A custom
+dictionary can be supplied for workload-tuned variants.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from .base import (
+    LINE_SIZE_BYTES,
+    CompressionError,
+    CompressionResult,
+    Compressor,
+)
+
+_WORD_BYTES = 4
+_WORDS_PER_LINE = LINE_SIZE_BYTES // _WORD_BYTES
+_BYTE_ORDER = "little"
+
+#: Default 8-entry frequent-value dictionary (static profile).
+DEFAULT_DICTIONARY = (
+    0x00000000,
+    0xFFFFFFFF,
+    0x00000001,
+    0x00000002,
+    0x00000004,
+    0x00000008,
+    0x0000FFFF,
+    0x80000000,
+)
+
+#: The single encoding id FVC reports (the bitstream is self-describing).
+ENC_FVC = 0
+
+
+class FVCCompressor(Compressor):
+    """Frequent Value Compression with a static dictionary."""
+
+    name = "fvc"
+    decompression_latency_cycles = 1  # a dictionary lookup per word
+    encoding_space = 1  # the bitstream is self-describing
+
+    def __init__(self, dictionary: Sequence[int] = DEFAULT_DICTIONARY) -> None:
+        if not dictionary:
+            raise ValueError("the dictionary needs at least one entry")
+        if len(dictionary) & (len(dictionary) - 1):
+            raise ValueError("dictionary size must be a power of two")
+        if len(set(dictionary)) != len(dictionary):
+            raise ValueError("dictionary entries must be unique")
+        for value in dictionary:
+            if not 0 <= value < (1 << 32):
+                raise ValueError(f"dictionary value {value:#x} is not a 32-bit word")
+        self.dictionary = tuple(dictionary)
+        self._index = {value: i for i, value in enumerate(self.dictionary)}
+        self.index_bits = max(1, (len(dictionary) - 1).bit_length())
+
+    def compress(self, data: bytes) -> CompressionResult:
+        """Compress one 64-byte line (see :class:`Compressor`)."""
+        self._check_input(data)
+        bits = 0
+        bit_count = 0
+        for offset in range(0, LINE_SIZE_BYTES, _WORD_BYTES):
+            word = int.from_bytes(data[offset : offset + _WORD_BYTES], _BYTE_ORDER)
+            index = self._index.get(word)
+            if index is None:
+                bits = (bits << 33) | (1 << 32) | word  # miss flag + verbatim
+                bit_count += 33
+            else:
+                bits = (bits << (1 + self.index_bits)) | index  # hit flag 0
+                bit_count += 1 + self.index_bits
+        padding = (-bit_count) % 8
+        payload = (bits << padding).to_bytes((bit_count + padding) // 8, "big")
+        return CompressionResult(self.name, ENC_FVC, bit_count, payload)
+
+    def decompress(self, result: CompressionResult) -> bytes:
+        """Reconstruct the 64-byte line (see :class:`Compressor`)."""
+        self._check_result(result)
+        total_bits = len(result.payload) * 8
+        value = int.from_bytes(result.payload, "big")
+        position = 0
+
+        def read(width: int) -> int:
+            nonlocal position
+            if position + width > result.size_bits or position + width > total_bits:
+                raise CompressionError("fvc: truncated bitstream")
+            shift = total_bits - position - width
+            position += width
+            return (value >> shift) & ((1 << width) - 1)
+
+        words = []
+        for _ in range(_WORDS_PER_LINE):
+            if read(1):
+                words.append(read(32))
+            else:
+                index = read(self.index_bits)
+                if index >= len(self.dictionary):
+                    raise CompressionError(f"fvc: dictionary index {index} out of range")
+                words.append(self.dictionary[index])
+        return b"".join(word.to_bytes(_WORD_BYTES, _BYTE_ORDER) for word in words)
+
+    def hit_rate(self, data: bytes) -> float:
+        """Fraction of the line's words found in the dictionary."""
+        self._check_input(data)
+        hits = sum(
+            1
+            for offset in range(0, LINE_SIZE_BYTES, _WORD_BYTES)
+            if int.from_bytes(data[offset : offset + _WORD_BYTES], _BYTE_ORDER)
+            in self._index
+        )
+        return hits / _WORDS_PER_LINE

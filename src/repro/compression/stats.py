@@ -1,0 +1,106 @@
+"""Aggregate compression statistics over streams of memory lines.
+
+These helpers back Figure 3 (average compressed size per compressor),
+Figure 6 (probability of consecutive-write size change), Figure 7
+(per-block size trajectories) and Figure 11 (compressed-size CDFs).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import LINE_SIZE_BYTES, Compressor
+from .best import BestOfCompressor
+
+
+@dataclass(frozen=True)
+class CompressionSummary:
+    """Aggregate statistics for one compressor over a line stream."""
+
+    compressor: str
+    line_count: int
+    mean_size_bytes: float
+    compression_ratio: float
+
+    @classmethod
+    def from_sizes(cls, compressor: str, sizes: Sequence[int]) -> "CompressionSummary":
+        """Build a summary from raw per-line sizes."""
+        if not sizes:
+            raise ValueError("cannot summarize an empty size list")
+        mean = float(np.mean(sizes))
+        return cls(
+            compressor=compressor,
+            line_count=len(sizes),
+            mean_size_bytes=mean,
+            compression_ratio=mean / LINE_SIZE_BYTES,
+        )
+
+
+def compressed_sizes(compressor: Compressor, lines: Iterable[bytes]) -> list[int]:
+    """Byte-rounded compressed size of every line in the stream."""
+    return [compressor.compress(line).size_bytes for line in lines]
+
+
+def summarize(compressor: Compressor, lines: Sequence[bytes]) -> CompressionSummary:
+    """One-shot summary of a compressor over a line stream."""
+    return CompressionSummary.from_sizes(
+        compressor.name, compressed_sizes(compressor, lines)
+    )
+
+
+def summarize_members(
+    best: BestOfCompressor, lines: Sequence[bytes]
+) -> dict[str, CompressionSummary]:
+    """Summaries for every member compressor plus the best-of selection.
+
+    This is the Figure 3 computation: per-application average compressed
+    size under BDI, FPC, and BEST.
+    """
+    sizes: dict[str, list[int]] = {member.name: [] for member in best.members}
+    sizes[best.name] = []
+    for line in lines:
+        results = best.compress_all(line)
+        for name, result in results.items():
+            sizes[name].append(result.size_bytes)
+        sizes[best.name].append(
+            min(result.size_bytes for result in results.values())
+        )
+    return {
+        name: CompressionSummary.from_sizes(name, size_list)
+        for name, size_list in sizes.items()
+    }
+
+
+def size_change_probability(sizes: Sequence[int], tolerance: int = 0) -> float:
+    """Probability that consecutive sizes differ by more than ``tolerance``.
+
+    Figure 6 reports this per application: two consecutive writes to the
+    same block counting as "changed" when their compressed sizes differ.
+    """
+    if len(sizes) < 2:
+        return 0.0
+    pairs = len(sizes) - 1
+    changes = sum(
+        1
+        for previous, current in zip(sizes, sizes[1:])
+        if abs(current - previous) > tolerance
+    )
+    return changes / pairs
+
+
+def size_cdf(sizes: Sequence[int]) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF of compressed sizes (Figure 11).
+
+    Returns:
+        A pair ``(size_bytes, cumulative_fraction)`` where
+        ``cumulative_fraction[i]`` is the fraction of samples with size
+        less than or equal to ``size_bytes[i]``.
+    """
+    if not sizes:
+        raise ValueError("cannot build a CDF from an empty size list")
+    values, counts = np.unique(np.asarray(sizes), return_counts=True)
+    cumulative = np.cumsum(counts) / len(sizes)
+    return values, cumulative

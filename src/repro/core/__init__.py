@@ -1,0 +1,50 @@
+"""The paper's core contribution: the compression-aware PCM controller."""
+
+from .config import (
+    DEFAULT_THRESHOLD1,
+    DEFAULT_THRESHOLD2,
+    EVALUATED_SYSTEMS,
+    SystemConfig,
+    baseline,
+    comp,
+    comp_w,
+    comp_wf,
+    make_config,
+)
+from .controller import CompressedPCMController, ControllerStats, WriteResult
+from .heuristic import BitFlipHeuristic, HeuristicDecision
+from .metadata import METADATA_BITS, SC_MAX, LineMetadata
+from .window import (
+    LINE_BYTES,
+    extract_bytes,
+    faults_in_window,
+    find_window,
+    place_bytes,
+    window_mask,
+)
+
+__all__ = [
+    "DEFAULT_THRESHOLD1",
+    "DEFAULT_THRESHOLD2",
+    "EVALUATED_SYSTEMS",
+    "LINE_BYTES",
+    "METADATA_BITS",
+    "SC_MAX",
+    "BitFlipHeuristic",
+    "CompressedPCMController",
+    "ControllerStats",
+    "HeuristicDecision",
+    "LineMetadata",
+    "SystemConfig",
+    "WriteResult",
+    "baseline",
+    "comp",
+    "comp_w",
+    "comp_wf",
+    "extract_bytes",
+    "faults_in_window",
+    "find_window",
+    "make_config",
+    "place_bytes",
+    "window_mask",
+]

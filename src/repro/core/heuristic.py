@@ -1,0 +1,74 @@
+"""The bit-flip control heuristic (Figure 8).
+
+Compression *increases* bit flips for ~20 % of write-backs, mostly when
+consecutive writes to a block keep changing compressed size (Figures 5
+and 6).  The controller cannot observe actual flip counts -- those are
+determined by the chips' differential-write logic -- so the paper
+predicts them from two cheap signals: the new compressed size and a
+2-bit per-line saturating counter (SC) tracking size volatility.
+
+The decision flow, verbatim from Figure 8:
+
+1. ``new_size < Threshold1``  ->  write compressed (tiny writes always
+   win; SC is left untouched).
+2. else if SC is saturated    ->  write uncompressed (the block has a
+   history of size swings; avoid the extra flips).
+3. else                       ->  write compressed, and update SC:
+   ``|old_size - new_size| < Threshold2`` decrements it (stable sizes),
+   otherwise increments it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import DEFAULT_THRESHOLD1, DEFAULT_THRESHOLD2
+from .metadata import LineMetadata
+
+
+@dataclass(frozen=True)
+class HeuristicDecision:
+    """Outcome of one Figure 8 evaluation."""
+
+    compress: bool
+    #: Which Figure 8 step fired (1, 2 or 3), for analysis/ablations.
+    step: int
+
+
+class BitFlipHeuristic:
+    """Figure 8 decision logic with configurable thresholds."""
+
+    def __init__(
+        self,
+        threshold1: int = DEFAULT_THRESHOLD1,
+        threshold2: int = DEFAULT_THRESHOLD2,
+    ) -> None:
+        if threshold1 < 1:
+            raise ValueError("threshold1 must be positive")
+        if threshold2 < 0:
+            raise ValueError("threshold2 cannot be negative")
+        self.threshold1 = threshold1
+        self.threshold2 = threshold2
+
+    def decide(self, metadata: LineMetadata, new_size: int) -> HeuristicDecision:
+        """Evaluate Figure 8 and update ``metadata.sc`` in place.
+
+        Args:
+            metadata: The line's metadata; ``stored_size`` supplies
+                ``Old_S`` and ``sc`` is updated per step 3.
+            new_size: Byte size of the new data after compression.
+        """
+        if not 1 <= new_size <= 64:
+            raise ValueError(f"compressed size {new_size} out of range")
+
+        if new_size < self.threshold1:
+            return HeuristicDecision(compress=True, step=1)
+
+        if metadata.sc_saturated:
+            return HeuristicDecision(compress=False, step=2)
+
+        if abs(metadata.stored_size - new_size) < self.threshold2:
+            metadata.decrement_sc()
+        else:
+            metadata.increment_sc()
+        return HeuristicDecision(compress=True, step=3)

@@ -1,0 +1,132 @@
+"""Compression-window placement and sliding (Section III-A, Figure 4).
+
+Compressed data occupies a contiguous *compression window* inside the
+64-byte line.  Windows are byte-granular and wrap around the end of the
+line (so intra-line rotation offsets work uniformly).  A window
+placement is *feasible* when the correction scheme can handle the
+stuck-at faults that fall inside it -- faults outside the window sit
+under unused cells and cost nothing.
+
+``find_window`` implements the controller's search: start at a hint
+(the line's current pointer, or the bank's rotation offset) and slide
+byte-by-byte until a feasible placement appears.  Because most blocks
+have fewer faults than the scheme's guaranteed capability, the common
+case returns the hint immediately.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..correction import CorrectionScheme
+
+LINE_BYTES = 64
+LINE_BITS = 512
+
+
+_MASK_CACHE: dict[tuple[int, int, int], np.ndarray] = {}
+
+
+def window_mask(start_byte: int, size_bytes: int, line_bytes: int = LINE_BYTES) -> np.ndarray:
+    """Boolean cell mask of a (possibly wrapping) byte window.
+
+    Masks are cached (there are only ``line_bytes**2`` of them) and
+    returned read-only; copy before mutating.
+    """
+    if not 0 <= start_byte < line_bytes:
+        raise ValueError(f"window start {start_byte} out of range")
+    if not 1 <= size_bytes <= line_bytes:
+        raise ValueError(f"window size {size_bytes} out of range")
+    key = (start_byte, size_bytes, line_bytes)
+    mask = _MASK_CACHE.get(key)
+    if mask is None:
+        byte_indices = (start_byte + np.arange(size_bytes)) % line_bytes
+        mask = np.zeros((line_bytes, 8), dtype=bool)
+        mask[byte_indices] = True
+        mask = mask.reshape(-1)
+        mask.setflags(write=False)
+        _MASK_CACHE[key] = mask
+    return mask
+
+
+def place_bytes(
+    base: np.ndarray, payload: bytes, start_byte: int, line_bytes: int = LINE_BYTES
+) -> np.ndarray:
+    """Lay ``payload`` into a copy of ``base`` bits at a byte window."""
+    from ..pcm import bytes_to_bits
+
+    if len(payload) > line_bytes:
+        raise ValueError("payload longer than the line")
+    target = base.copy()
+    byte_indices = (start_byte + np.arange(len(payload))) % line_bytes
+    target.reshape(line_bytes, 8)[byte_indices] = bytes_to_bits(payload).reshape(
+        len(payload), 8
+    )
+    return target
+
+
+def extract_bytes(
+    bits: np.ndarray, start_byte: int, size_bytes: int, line_bytes: int = LINE_BYTES
+) -> bytes:
+    """Read ``size_bytes`` from a (possibly wrapping) byte window."""
+    from ..pcm import bits_to_bytes
+
+    if size_bytes == 0:
+        return b""
+    byte_indices = (start_byte + np.arange(size_bytes)) % line_bytes
+    window_bits = bits.reshape(line_bytes, 8)[byte_indices].reshape(-1)
+    return bits_to_bytes(window_bits)
+
+
+def faults_in_window(
+    fault_positions: np.ndarray,
+    start_byte: int,
+    size_bytes: int,
+    line_bytes: int = LINE_BYTES,
+) -> np.ndarray:
+    """Fault positions falling inside a byte window, window-relative.
+
+    Positions are re-based to the window start so correction schemes
+    see a stable coordinate system regardless of where the window sits
+    (the scheme's partitioning hardware operates on the windowed data
+    as it would on a line).
+    """
+    if fault_positions.size == 0:
+        return fault_positions
+    start_bit = start_byte * 8
+    size_bits = size_bytes * 8
+    relative = (fault_positions - start_bit) % (line_bytes * 8)
+    return np.sort(relative[relative < size_bits])
+
+
+def find_window(
+    fault_positions: np.ndarray,
+    size_bytes: int,
+    scheme: CorrectionScheme,
+    start_hint: int = 0,
+    line_bytes: int = LINE_BYTES,
+) -> int | None:
+    """First feasible window start at/after ``start_hint``, or None.
+
+    Feasibility means the correction scheme can mask every fault inside
+    the window.  The search wraps over all ``line_bytes`` candidate
+    starts, beginning at the hint so stable lines keep their pointer.
+    """
+    if fault_positions.size <= scheme.deterministic_capability:
+        # Any placement works: the scheme guarantees this many faults
+        # no matter where they land.
+        return start_hint % line_bytes
+
+    if size_bytes == line_bytes:
+        # A full-line window sees every fault regardless of start.
+        inside = faults_in_window(fault_positions, 0, size_bytes, line_bytes)
+        return 0 if scheme.can_correct(inside) else None
+
+    for step in range(line_bytes):
+        start = (start_hint + step) % line_bytes
+        inside = faults_in_window(fault_positions, start, size_bytes, line_bytes)
+        if inside.size <= scheme.deterministic_capability or scheme.can_correct(
+            inside
+        ):
+            return start
+    return None

@@ -1,0 +1,51 @@
+"""Hard-error tolerance schemes: ECP, SAFER, Aegis, SECDED."""
+
+from .aegis import Aegis, aegis17x31
+from .base import DEFAULT_BLOCK_BITS, CorrectionScheme, normalize_faults
+from .ecp import ECP, ecp6
+from .safer import SAFER, safer32
+from .secded import SECDED
+
+#: The three schemes evaluated in Figure 9, by name.
+PAPER_SCHEMES = ("ecp6", "safer32", "aegis17x31")
+
+
+def make_scheme(name: str, block_bits: int = DEFAULT_BLOCK_BITS) -> CorrectionScheme:
+    """Build one of the paper's correction schemes by name."""
+    factories = {
+        "ecp6": lambda: ecp6(block_bits),
+        "safer32": lambda: safer32(block_bits),
+        "aegis17x31": lambda: aegis17x31(block_bits),
+        "secded": lambda: SECDED(block_bits=block_bits),
+    }
+    try:
+        return factories[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown correction scheme {name!r}; choose from "
+            f"{sorted(factories)}"
+        ) from None
+
+
+__all__ = [
+    "DEFAULT_BLOCK_BITS",
+    "PAPER_SCHEMES",
+    "Aegis",
+    "CorrectionScheme",
+    "ECP",
+    "SAFER",
+    "SECDED",
+    "aegis17x31",
+    "ecp6",
+    "make_scheme",
+    "normalize_faults",
+    "safer32",
+]
+
+from .freep import FreePRemapper  # noqa: E402
+
+__all__ += ["FreePRemapper"]
+
+from .secded import HammingSECDED  # noqa: E402
+
+__all__ += ["HammingSECDED"]

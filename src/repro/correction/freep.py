@@ -1,0 +1,112 @@
+"""FREE-p style fine-grained remapping (Yoon et al., HPCA 2011, [10]).
+
+FREE-p takes the opposite route from ECP/SAFER/Aegis: instead of
+masking faults in place, a worn-out line is *remapped* to a spare line,
+and the remap pointer is stored -- heavily replicated -- in the dead
+line's own surviving cells, so no separate remap table is needed.
+
+We model the two architecturally relevant properties:
+
+* a dead line can host a pointer only if enough healthy cells remain to
+  store it with the required replication (:meth:`can_store_pointer`);
+* spares are a finite pool; remap chains are collapsed (the pointer is
+  rewritten to the final destination) as in the original design.
+
+The lifetime-side integration lives in
+:class:`repro.core.controller.CompressedPCMController` behind the
+``spare_line_fraction`` configuration knob, and the comparison against
+plain dead-marking is ``benchmarks/test_extension_freep.py``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+class FreePRemapper:
+    """Spare-pool bookkeeping for remap-on-death.
+
+    Args:
+        spare_lines: Physical line indices reserved as spares.
+        pointer_bits: Bits needed to name any physical line.
+        replication: How many copies of the pointer the dead line must
+            hold (FREE-p replicates to tolerate further cell failures).
+    """
+
+    def __init__(
+        self,
+        spare_lines: list[int],
+        pointer_bits: int,
+        replication: int = 7,
+    ) -> None:
+        if pointer_bits < 1:
+            raise ValueError("pointer width must be positive")
+        if replication < 1:
+            raise ValueError("replication factor must be positive")
+        self._free_spares = list(dict.fromkeys(spare_lines))
+        self.pointer_bits = pointer_bits
+        self.replication = replication
+        self._remap: dict[int, int] = {}
+        self.remaps_performed = 0
+
+    @classmethod
+    def for_memory(
+        cls, physical_lines: int, spare_fraction: float, replication: int = 7
+    ) -> "FreePRemapper":
+        """Reserve the top ``spare_fraction`` of the memory as spares."""
+        if not 0 <= spare_fraction < 1:
+            raise ValueError("spare fraction must be in [0, 1)")
+        spare_count = int(physical_lines * spare_fraction)
+        spares = list(range(physical_lines - spare_count, physical_lines))
+        pointer_bits = max(1, math.ceil(math.log2(max(2, physical_lines))))
+        return cls(spares, pointer_bits, replication)
+
+    @property
+    def spares_available(self) -> int:
+        """Unconsumed spare lines remaining."""
+        return len(self._free_spares)
+
+    @property
+    def pointer_cells_needed(self) -> int:
+        """Healthy cells a dead line must retain to host the pointer."""
+        return self.pointer_bits * self.replication
+
+    def is_spare(self, physical: int) -> bool:
+        """Whether a physical index is an unconsumed spare."""
+        return physical in self._free_spares
+
+    def resolve(self, physical: int) -> int:
+        """Follow (collapsed) remap pointers to the live location."""
+        seen = set()
+        while physical in self._remap:
+            if physical in seen:
+                raise RuntimeError("remap cycle detected")
+            seen.add(physical)
+            physical = self._remap[physical]
+        return physical
+
+    def can_store_pointer(self, faulty_mask: np.ndarray) -> bool:
+        """Whether a dead line retains room for the replicated pointer."""
+        healthy = faulty_mask.size - int(np.count_nonzero(faulty_mask))
+        return healthy >= self.pointer_cells_needed
+
+    def remap(self, dead_physical: int, faulty_mask: np.ndarray) -> int | None:
+        """Redirect a dead line to a fresh spare, or None if impossible.
+
+        Chains are collapsed: if ``dead_physical`` is itself the target
+        of earlier remaps, those pointers are rewritten to the new spare
+        (the paper's pointer-update-on-chase optimization).
+        """
+        if not self._free_spares:
+            return None
+        if not self.can_store_pointer(faulty_mask):
+            return None
+        spare = self._free_spares.pop(0)
+        self._remap[dead_physical] = spare
+        for source, target in list(self._remap.items()):
+            if target == dead_physical:
+                self._remap[source] = spare
+        self.remaps_performed += 1
+        return spare

@@ -1,0 +1,19 @@
+"""Monte Carlo fault-injection harness (Figure 9)."""
+
+from .montecarlo import (
+    PAPER_DATA_SIZES,
+    FailurePoint,
+    block_survives,
+    failure_probability,
+    sweep,
+    tolerable_faults,
+)
+
+__all__ = [
+    "PAPER_DATA_SIZES",
+    "FailurePoint",
+    "block_survives",
+    "failure_probability",
+    "sweep",
+    "tolerable_faults",
+]

@@ -1,0 +1,28 @@
+"""Trace-driven lifetime simulation of the four evaluated systems."""
+
+from .results import (
+    PAPER_TOTAL_LINES,
+    LifetimeResult,
+    lifetime_months,
+    normalized_lifetime,
+)
+from .simulator import DEAD_CAPACITY_THRESHOLD, LifetimeSimulator
+from .systems import (
+    build_simulator,
+    normalized_against_baseline,
+    run_system_comparison,
+    scaled_intra_counter_limit,
+)
+
+__all__ = [
+    "DEAD_CAPACITY_THRESHOLD",
+    "PAPER_TOTAL_LINES",
+    "LifetimeResult",
+    "LifetimeSimulator",
+    "build_simulator",
+    "lifetime_months",
+    "normalized_against_baseline",
+    "normalized_lifetime",
+    "run_system_comparison",
+    "scaled_intra_counter_limit",
+]

@@ -1,0 +1,104 @@
+"""Lifetime result records and paper-scale extrapolation.
+
+Simulations run with scaled-down endurance and capacity (DESIGN.md,
+substitution table); this module converts simulated writes-to-failure
+into the absolute months of Table IV by linear extrapolation through
+the scale factors, and computes the normalized lifetimes of Figure 10
+(which are scale-invariant -- verified in
+``tests/lifetime/test_scaling_invariance.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..pcm import PAPER_ENDURANCE_MEAN, PCMEnergy
+
+#: Paper-scale memory: 4 GB of 64-byte lines (Table II).
+PAPER_TOTAL_LINES = 4 * 2**30 // 64
+#: Table II CMP: 16 cores at 2.5 GHz.
+PAPER_CORES = 16
+PAPER_CLOCK_HZ = 2.5e9
+SECONDS_PER_MONTH = 3600 * 24 * 30
+
+
+@dataclass(frozen=True)
+class LifetimeResult:
+    """Outcome of one lifetime simulation run."""
+
+    system: str
+    workload: str
+    n_lines: int
+    endurance_mean: float
+    writes_issued: int
+    failed: bool  # True when the 50%-capacity criterion was reached
+    dead_fraction: float
+    total_flips: int
+    set_flips: int
+    reset_flips: int
+    lost_writes: int
+    deaths: int
+    revivals: int
+    avg_faults_per_dead_block: float
+    compressed_write_fraction: float
+
+    @property
+    def writes_to_failure(self) -> int | None:
+        """Writes survived before memory death (None if still alive)."""
+        return self.writes_issued if self.failed else None
+
+    @property
+    def flips_per_write(self) -> float:
+        """Mean cells programmed per demand write (wear/energy proxy)."""
+        return self.total_flips / self.writes_issued if self.writes_issued else 0.0
+
+    def write_energy_pj(self, energy: PCMEnergy | None = None) -> float:
+        """Total array programming energy over the run (picojoules)."""
+        energy = energy or PCMEnergy()
+        return energy.write_energy_pj(self.set_flips, self.reset_flips)
+
+    def write_energy_per_write_pj(self, energy: PCMEnergy | None = None) -> float:
+        """Mean array programming energy per demand write (picojoules)."""
+        if not self.writes_issued:
+            return 0.0
+        return self.write_energy_pj(energy) / self.writes_issued
+
+
+def normalized_lifetime(result: LifetimeResult, baseline: LifetimeResult) -> float:
+    """Figure 10's metric: writes-to-failure over the baseline's."""
+    if not (result.failed and baseline.failed):
+        raise ValueError(
+            "both runs must reach the failure criterion to normalize "
+            f"({result.system}: failed={result.failed}, "
+            f"{baseline.system}: failed={baseline.failed})"
+        )
+    return result.writes_issued / baseline.writes_issued
+
+
+def lifetime_months(
+    result: LifetimeResult,
+    wpki: float,
+    ipc: float = 1.0,
+    cores: int = PAPER_CORES,
+    clock_hz: float = PAPER_CLOCK_HZ,
+) -> float:
+    """Extrapolate a scaled run to paper-scale months (Table IV).
+
+    Writes-to-failure scale linearly in both per-cell endurance and
+    memory capacity, so the paper-scale write budget is::
+
+        writes_sim * (1e7 / endurance_mean) * (PAPER_LINES / n_lines)
+
+    and the wall-clock rate of write-backs is ``WPKI/1000`` per
+    instruction across ``cores`` running at ``ipc * clock_hz``.
+    """
+    if not result.failed:
+        raise ValueError("cannot extrapolate an unfinished run")
+    if wpki <= 0 or ipc <= 0:
+        raise ValueError("WPKI and IPC must be positive")
+    scale = (PAPER_ENDURANCE_MEAN / result.endurance_mean) * (
+        PAPER_TOTAL_LINES / result.n_lines
+    )
+    paper_writes = result.writes_issued * scale
+    writes_per_second = (wpki / 1000.0) * ipc * clock_hz * cores
+    return paper_writes / writes_per_second / SECONDS_PER_MONTH

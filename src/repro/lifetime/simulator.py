@@ -1,0 +1,139 @@
+"""Trace-driven PCM lifetime simulation (Section IV, "Fault model").
+
+The simulator replays a write-back stream -- either a synthetic
+workload generator or a recorded trace, cycled -- through a
+:class:`repro.core.CompressedPCMController` until 50 % of the memory
+capacity is dead (the paper's system-failure criterion, following
+ECP [8]), and reports the write count at death plus the wear statistics
+behind Figures 10, 12 and 13.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterator
+
+import numpy as np
+
+from ..core import CompressedPCMController, SystemConfig
+from ..pcm import EnduranceModel, FaultMode
+from ..traces import SyntheticWorkload, Trace, WriteBack, WorkloadProfile
+from .results import LifetimeResult
+
+#: The paper's failure criterion: half the capacity worn out.
+DEAD_CAPACITY_THRESHOLD = 0.5
+
+
+def _write_stream(source, n_lines: int) -> Iterator[WriteBack]:
+    """Normalize a workload source into an endless write-back stream."""
+    if hasattr(source, "next_write"):  # SyntheticWorkload, MixedWorkload, ...
+        while True:
+            yield source.next_write()
+    elif isinstance(source, Trace):
+        if len(source) == 0:
+            raise ValueError("cannot replay an empty trace")
+        if source.n_lines > n_lines:
+            raise ValueError(
+                f"trace addresses {source.n_lines} lines but the memory "
+                f"has only {n_lines}"
+            )
+        yield from itertools.cycle(source)
+    else:
+        raise TypeError(
+            "workload source must be a SyntheticWorkload or a Trace, "
+            f"got {type(source).__name__}"
+        )
+
+
+class LifetimeSimulator:
+    """Replays one workload through one system until memory death."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        source: SyntheticWorkload | Trace,
+        n_lines: int,
+        endurance_mean: float = 100.0,
+        endurance_cov: float = 0.15,
+        seed: int = 0,
+        n_banks: int = 8,
+        fault_mode: FaultMode = FaultMode.STUCK_AT_LAST,
+        dead_threshold: float = DEAD_CAPACITY_THRESHOLD,
+        cell_type: str = "slc",
+    ) -> None:
+        if not 0 < dead_threshold <= 1:
+            raise ValueError("dead threshold must be in (0, 1]")
+        if not isinstance(source, Trace) and not hasattr(source, "next_write"):
+            raise TypeError(
+                "workload source must be a Trace or provide next_write() "
+                f"(SyntheticWorkload, MixedWorkload); got {type(source).__name__}"
+            )
+        self.config = config
+        self.source = source
+        self.n_lines = n_lines
+        self.endurance_mean = endurance_mean
+        self.dead_threshold = dead_threshold
+        if isinstance(source, SyntheticWorkload):
+            self.workload_name = source.profile.name
+        elif isinstance(source, Trace):
+            self.workload_name = source.workload
+        else:
+            self.workload_name = getattr(source, "name", type(source).__name__)
+        model = EnduranceModel(mean=endurance_mean, cov=endurance_cov)
+        self.controller = CompressedPCMController(
+            config=config,
+            n_lines=n_lines,
+            endurance_model=model,
+            rng=np.random.default_rng(seed),
+            n_banks=n_banks,
+            fault_mode=fault_mode,
+            cell_type=cell_type,
+        )
+
+    def run(
+        self, max_writes: int = 2_000_000, check_interval: int = 64
+    ) -> LifetimeResult:
+        """Replay writes until memory death or the write budget runs out.
+
+        Args:
+            max_writes: Safety bound; a run that has not failed by then
+                returns ``failed=False`` (callers should raise the
+                budget or shrink the memory rather than compare
+                unfinished runs).
+            check_interval: Writes between failure-criterion checks.
+        """
+        controller = self.controller
+        writes = 0
+        failed = False
+        for write_back in _write_stream(self.source, self.n_lines):
+            controller.write(write_back.line, write_back.data)
+            writes += 1
+            if writes % check_interval == 0 and (
+                controller.dead_fraction >= self.dead_threshold
+            ):
+                failed = True
+                break
+            if writes >= max_writes:
+                break
+
+        stats = controller.stats
+        stored = stats.compressed_writes + stats.uncompressed_writes
+        return LifetimeResult(
+            system=self.config.name,
+            workload=self.workload_name,
+            n_lines=self.n_lines,
+            endurance_mean=self.endurance_mean,
+            writes_issued=writes,
+            failed=failed,
+            dead_fraction=controller.dead_fraction,
+            total_flips=stats.total_flips,
+            set_flips=stats.set_flips,
+            reset_flips=stats.reset_flips,
+            lost_writes=stats.lost_writes,
+            deaths=stats.deaths,
+            revivals=stats.revivals,
+            avg_faults_per_dead_block=controller.average_faults_per_dead_block(),
+            compressed_write_fraction=(
+                stats.compressed_writes / stored if stored else 0.0
+            ),
+        )

@@ -1,0 +1,73 @@
+"""PCM device, wear, and DIMM-organization substrate."""
+
+from .bank import PCMBankArray
+from .bits import bits_to_bytes, bytes_to_bits, flip_mask, popcount
+from .block import BLOCK_BITS, MemoryBlock, WriteOutcome, apply_write
+from .cell import CellState, FaultMode, PCMCell
+from .device import PCMEnergy, PCMTimings
+from .differential_write import WritePlan, bit_flips, flip_positions, plan_write
+from .flip_n_write import FlipNWrite, FlipNWriteResult, naive_flip_count
+from .organization import (
+    CHIPS_PER_RANK,
+    DATA_CHIPS_PER_RANK,
+    ECC_BITS_PER_LINE,
+    MemoryOrganization,
+    PhysicalLocation,
+)
+from .variation import (
+    HIGH_VARIATION_COV,
+    PAPER_ENDURANCE_COV,
+    PAPER_ENDURANCE_MEAN,
+    EnduranceModel,
+)
+
+__all__ = [
+    "BLOCK_BITS",
+    "CHIPS_PER_RANK",
+    "DATA_CHIPS_PER_RANK",
+    "ECC_BITS_PER_LINE",
+    "HIGH_VARIATION_COV",
+    "PAPER_ENDURANCE_COV",
+    "PAPER_ENDURANCE_MEAN",
+    "CellState",
+    "EnduranceModel",
+    "FaultMode",
+    "FlipNWrite",
+    "FlipNWriteResult",
+    "MemoryBlock",
+    "MemoryOrganization",
+    "PCMBankArray",
+    "PCMCell",
+    "PCMEnergy",
+    "PCMTimings",
+    "PhysicalLocation",
+    "WriteOutcome",
+    "WritePlan",
+    "apply_write",
+    "bit_flips",
+    "bits_to_bytes",
+    "bytes_to_bits",
+    "flip_mask",
+    "flip_positions",
+    "naive_flip_count",
+    "plan_write",
+    "popcount",
+]
+
+from .mlc import (  # noqa: E402  (MLC extension, paper footnote 1)
+    MLC_BITS_PER_CELL,
+    MLC_CELLS_PER_BLOCK,
+    MLC_ENDURANCE_MEAN,
+    MLCBankArray,
+    MLCWriteOutcome,
+    mlc_endurance_model,
+)
+
+__all__ += [
+    "MLC_BITS_PER_CELL",
+    "MLC_CELLS_PER_BLOCK",
+    "MLC_ENDURANCE_MEAN",
+    "MLCBankArray",
+    "MLCWriteOutcome",
+    "mlc_endurance_model",
+]

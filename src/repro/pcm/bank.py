@@ -1,0 +1,99 @@
+"""Vectorized wear model for a whole PCM bank (array of lines).
+
+This is the hot path of the lifetime simulator: all per-cell state for
+``n_blocks`` lines lives in three contiguous numpy arrays, and a write
+touches exactly one row.  The write semantics are shared with
+:class:`repro.pcm.block.MemoryBlock` through
+:func:`repro.pcm.block.apply_write`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bits import bits_to_bytes, bytes_to_bits
+from .block import BLOCK_BITS, WriteOutcome, apply_write
+from .cell import FaultMode
+from .variation import EnduranceModel
+
+
+class PCMBankArray:
+    """Per-cell wear state for an array of 64-byte PCM lines."""
+
+    def __init__(
+        self,
+        n_blocks: int,
+        endurance_model: EnduranceModel,
+        rng: np.random.Generator,
+        fault_mode: FaultMode = FaultMode.STUCK_AT_LAST,
+    ) -> None:
+        if n_blocks <= 0:
+            raise ValueError("a bank needs at least one block")
+        self.n_blocks = n_blocks
+        self.fault_mode = fault_mode
+        self.endurance_model = endurance_model
+        self.stored = np.zeros((n_blocks, BLOCK_BITS), dtype=np.uint8)
+        self.counts = np.zeros((n_blocks, BLOCK_BITS), dtype=np.uint64)
+        self.endurance = endurance_model.sample((n_blocks, BLOCK_BITS), rng)
+
+    def write(
+        self,
+        block_index: int,
+        new_bits: np.ndarray,
+        update_mask: np.ndarray | None = None,
+    ) -> WriteOutcome:
+        """Program one line; see :func:`repro.pcm.block.apply_write`."""
+        self._check_index(block_index)
+        return apply_write(
+            self.stored[block_index],
+            self.counts[block_index],
+            self.endurance[block_index],
+            new_bits,
+            self.fault_mode,
+            update_mask,
+        )
+
+    def write_bytes(
+        self,
+        block_index: int,
+        data: bytes,
+        update_mask: np.ndarray | None = None,
+    ) -> WriteOutcome:
+        """Byte-level convenience wrapper around :meth:`write`."""
+        return self.write(block_index, bytes_to_bits(data), update_mask)
+
+    def read_bits(self, block_index: int) -> np.ndarray:
+        """The line's current cell values (0/1 array)."""
+        self._check_index(block_index)
+        return self.stored[block_index]
+
+    def read_bytes(self, block_index: int) -> bytes:
+        """The line's current content as 64 bytes."""
+        return bits_to_bytes(self.read_bits(block_index))
+
+    def faulty_mask(self, block_index: int) -> np.ndarray:
+        """Boolean mask of worn-out cells."""
+        self._check_index(block_index)
+        return self.counts[block_index] >= self.endurance[block_index]
+
+    def fault_positions(self, block_index: int) -> np.ndarray:
+        """Indices of worn-out cells, ascending."""
+        return np.flatnonzero(self.faulty_mask(block_index))
+
+    def fault_count(self, block_index: int) -> int:
+        """Number of worn-out cells."""
+        return int(np.count_nonzero(self.faulty_mask(block_index)))
+
+    def fault_counts_all(self) -> np.ndarray:
+        """Fault count of every block (vectorized, for progress stats)."""
+        return np.count_nonzero(self.counts >= self.endurance, axis=1)
+
+    def total_programmed_flips(self) -> int:
+        """Total cell programs so far (energy/wear proxy)."""
+        return int(self.counts.sum())
+
+    def _check_index(self, block_index: int) -> None:
+        if not 0 <= block_index < self.n_blocks:
+            raise IndexError(
+                f"block {block_index} out of range [0, {self.n_blocks})"
+            )

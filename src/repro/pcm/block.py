@@ -1,0 +1,179 @@
+"""Wear-aware storage model for PCM memory lines.
+
+The model tracks, per cell: the stored value, the number of times the
+cell was actually programmed (bit flips, i.e. post-differential-write
+writes), and the cell's endurance limit.  A cell whose flip count
+reaches its endurance limit becomes a stuck-at fault: subsequent
+programs are silently ineffective, which the controller observes as a
+write-verify mismatch.
+
+:class:`MemoryBlock` is the readable single-line model;
+:func:`apply_write` is the underlying row operation that
+:class:`repro.pcm.bank.PCMBankArray` reuses over views into its large
+arrays, so both models share one set of semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .bits import bits_to_bytes, bytes_to_bits
+from .cell import FaultMode
+from .variation import EnduranceModel
+
+#: Cells per memory line (64 bytes).
+BLOCK_BITS = 512
+
+
+@dataclass(frozen=True)
+class WriteOutcome:
+    """What happened when one line was written.
+
+    Attributes:
+        attempted_flips: Cells the differential write wanted to change.
+        programmed_flips: Cells actually programmed (healthy cells only);
+            this is the wear and energy cost of the write.
+        set_flips: Programmed cells driven to ``1`` (SET pulses: long,
+            low current).
+        reset_flips: Programmed cells driven to ``0`` (RESET pulses:
+            short, high current -- the wear-dominant transition).
+        new_fault_positions: Cells that wore out during this write.
+        error_positions: Cells whose stored value differs from the
+            requested value after the write -- the stuck-at errors a
+            read-verify would report to the correction scheme.
+    """
+
+    attempted_flips: int
+    programmed_flips: int
+    set_flips: int
+    reset_flips: int
+    new_fault_positions: np.ndarray
+    error_positions: np.ndarray
+
+    @property
+    def clean(self) -> bool:
+        """True when the write landed with no stuck-at mismatch."""
+        return self.error_positions.size == 0
+
+
+def apply_write(
+    stored: np.ndarray,
+    counts: np.ndarray,
+    endurance: np.ndarray,
+    new_bits: np.ndarray,
+    fault_mode: FaultMode = FaultMode.STUCK_AT_LAST,
+    update_mask: np.ndarray | None = None,
+) -> WriteOutcome:
+    """Program one line in place with differential-write semantics.
+
+    Args:
+        stored: Current cell values (0/1), modified in place.
+        counts: Per-cell program counts, modified in place.
+        endurance: Per-cell endurance limits.
+        new_bits: Desired cell values (0/1).
+        fault_mode: What value a cell sticks at when it wears out.
+        update_mask: Optional boolean mask restricting which cells the
+            controller intends to program (e.g. only the compression
+            window plus metadata).  Cells outside the mask are left
+            untouched and never reported as errors.
+    """
+    faulty_before = counts >= endurance
+    want = stored != new_bits
+    if update_mask is not None:
+        want &= update_mask
+
+    programmable = want & ~faulty_before
+    counts[programmable] += 1
+    stored[programmable] = new_bits[programmable]
+
+    newly_faulty = programmable & (counts >= endurance)
+    if fault_mode is FaultMode.STUCK_AT_SET:
+        stored[newly_faulty] = 1
+    elif fault_mode is FaultMode.STUCK_AT_RESET:
+        stored[newly_faulty] = 0
+
+    mismatch = stored != new_bits
+    if update_mask is not None:
+        mismatch &= update_mask
+
+    programmed = int(np.count_nonzero(programmable))
+    set_flips = int(np.count_nonzero(programmable & (new_bits == 1)))
+    return WriteOutcome(
+        attempted_flips=int(np.count_nonzero(want)),
+        programmed_flips=programmed,
+        set_flips=set_flips,
+        reset_flips=programmed - set_flips,
+        new_fault_positions=np.flatnonzero(newly_faulty),
+        error_positions=np.flatnonzero(mismatch),
+    )
+
+
+@dataclass
+class MemoryBlock:
+    """A single 64-byte PCM line with per-cell wear state."""
+
+    endurance: np.ndarray
+    fault_mode: FaultMode = FaultMode.STUCK_AT_LAST
+    stored: np.ndarray = field(default=None)  # type: ignore[assignment]
+    counts: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.endurance = np.asarray(self.endurance, dtype=np.uint64)
+        if self.endurance.shape != (BLOCK_BITS,):
+            raise ValueError(
+                f"endurance must have shape ({BLOCK_BITS},), "
+                f"got {self.endurance.shape}"
+            )
+        if self.stored is None:
+            self.stored = np.zeros(BLOCK_BITS, dtype=np.uint8)
+        if self.counts is None:
+            self.counts = np.zeros(BLOCK_BITS, dtype=np.uint64)
+
+    @classmethod
+    def fresh(
+        cls,
+        model: EnduranceModel,
+        rng: np.random.Generator,
+        fault_mode: FaultMode = FaultMode.STUCK_AT_LAST,
+    ) -> "MemoryBlock":
+        """A new block with endurance sampled from ``model``."""
+        return cls(endurance=model.sample(BLOCK_BITS, rng), fault_mode=fault_mode)
+
+    @property
+    def faulty(self) -> np.ndarray:
+        """Boolean mask of worn-out cells."""
+        return self.counts >= self.endurance
+
+    @property
+    def fault_count(self) -> int:
+        """Number of worn-out cells."""
+        return int(np.count_nonzero(self.faulty))
+
+    def fault_positions(self) -> np.ndarray:
+        """Indices of worn-out cells, ascending."""
+        return np.flatnonzero(self.faulty)
+
+    def read_bytes(self) -> bytes:
+        """The line's current content as 64 bytes."""
+        return bits_to_bytes(self.stored)
+
+    def write_bytes(self, data: bytes, update_mask: np.ndarray | None = None) -> WriteOutcome:
+        """Byte-level convenience wrapper around :meth:`write`."""
+        return self.write_bits(bytes_to_bits(data), update_mask)
+
+    def write_bits(
+        self, new_bits: np.ndarray, update_mask: np.ndarray | None = None
+    ) -> WriteOutcome:
+        """Bit-level write; see :func:`apply_write` for semantics."""
+        if new_bits.shape != (BLOCK_BITS,):
+            raise ValueError(f"expected {BLOCK_BITS} bits, got {new_bits.shape}")
+        return apply_write(
+            self.stored,
+            self.counts,
+            self.endurance,
+            new_bits.astype(np.uint8),
+            self.fault_mode,
+            update_mask,
+        )

@@ -1,0 +1,82 @@
+"""PCM device timing and energy parameters (Table II).
+
+The paper configures a DDR3-style interface with PCM array timings
+taken from Lee et al. [5] / NVSim [27]; these constants feed the
+performance-overhead model (Section V-B) in :mod:`repro.perf`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PCMTimings:
+    """Array and interface timing parameters.
+
+    Array latencies are in nanoseconds; interface timings are in memory
+    bus cycles at ``bus_mhz`` (Table II uses a 400 MHz DDR interface,
+    i.e. 2.5 ns per cycle, burst length 8).
+    """
+
+    read_ns: float = 48.0
+    reset_ns: float = 40.0
+    set_ns: float = 150.0
+    bus_mhz: float = 400.0
+    burst_length: int = 8
+    t_rcd: int = 60
+    t_cl: int = 5
+    t_wl: int = 4
+    t_ccd: int = 4
+    t_wtr: int = 4
+    t_rtp: int = 3
+    t_rp: int = 60
+    t_rrd_act: int = 2
+    t_rrd_pre: int = 11
+
+    def __post_init__(self) -> None:
+        if self.bus_mhz <= 0:
+            raise ValueError("bus frequency must be positive")
+        if self.burst_length <= 0:
+            raise ValueError("burst length must be positive")
+
+    @property
+    def cycle_ns(self) -> float:
+        """Duration of one memory bus cycle in nanoseconds."""
+        return 1000.0 / self.bus_mhz
+
+    @property
+    def write_ns(self) -> float:
+        """Worst-case array write latency (SET dominates RESET)."""
+        return max(self.set_ns, self.reset_ns)
+
+    @property
+    def burst_cycles(self) -> int:
+        """Bus cycles to transfer one 64-byte line over the 72-bit bus."""
+        return self.burst_length
+
+    def read_latency_cycles(self) -> int:
+        """Idle-bank read latency in bus cycles (activate + CAS + burst)."""
+        return self.t_rcd + self.t_cl + self.burst_cycles
+
+    def write_latency_cycles(self) -> int:
+        """Idle-bank write latency in bus cycles (activate + WL + burst)."""
+        return self.t_rcd + self.t_wl + self.burst_cycles
+
+
+@dataclass(frozen=True)
+class PCMEnergy:
+    """Per-operation energy parameters (picojoules per cell program).
+
+    RESET pulses are short but high-current; SET pulses are long and
+    low-current.  Only relative magnitudes matter for the energy
+    accounting in the lifetime simulator.
+    """
+
+    read_pj_per_bit: float = 2.0
+    set_pj_per_bit: float = 19.2
+    reset_pj_per_bit: float = 13.5
+
+    def write_energy_pj(self, set_flips: int, reset_flips: int) -> float:
+        """Array energy to program the given flip counts."""
+        return set_flips * self.set_pj_per_bit + reset_flips * self.reset_pj_per_bit

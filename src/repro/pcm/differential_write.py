@@ -1,0 +1,58 @@
+"""Differential write (DW): the chip-level read-modify-write circuit.
+
+Every PCM chip in the paper's baseline embeds RMW logic [13]: on a
+write it reads the old line, compares bit-by-bit with the new data, and
+programs only the differing cells.  DW is what makes *bit flips* --
+rather than writes -- the unit of wear, and its randomly scattered flip
+pattern (Figure 1) is the inefficiency the paper attacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .bits import bytes_to_bits, flip_mask
+
+
+@dataclass(frozen=True)
+class WritePlan:
+    """The cell updates a differential write would program.
+
+    Attributes:
+        flips: Boolean mask over cell positions that must change.
+        flip_count: Number of cells to program (``flips.sum()``).
+        set_count: Flips programming a ``1`` (SET pulse).
+        reset_count: Flips programming a ``0`` (RESET pulse; the
+            expensive, wear-dominant transition).
+    """
+
+    flips: np.ndarray
+    flip_count: int
+    set_count: int
+    reset_count: int
+
+
+def plan_write(old_bits: np.ndarray, new_bits: np.ndarray) -> WritePlan:
+    """Compute the differential-write plan between two cell images."""
+    flips = flip_mask(old_bits, new_bits)
+    flip_count = int(np.count_nonzero(flips))
+    set_count = int(np.count_nonzero(flips & (new_bits == 1)))
+    return WritePlan(
+        flips=flips,
+        flip_count=flip_count,
+        set_count=set_count,
+        reset_count=flip_count - set_count,
+    )
+
+
+def bit_flips(old: bytes, new: bytes) -> int:
+    """Number of cells a differential write of ``new`` over ``old`` programs."""
+    return plan_write(bytes_to_bits(old), bytes_to_bits(new)).flip_count
+
+
+def flip_positions(old: bytes, new: bytes) -> np.ndarray:
+    """Cell indices a differential write would program, ascending."""
+    plan = plan_write(bytes_to_bits(old), bytes_to_bits(new))
+    return np.flatnonzero(plan.flips)

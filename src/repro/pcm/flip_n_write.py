@@ -1,0 +1,102 @@
+"""Flip-N-Write (Cho and Lee, MICRO 2009 -- the paper's reference [25]).
+
+A more aggressive bit-flip reducer than plain differential writes: the
+line is split into fixed-size words, and for each word the circuit
+writes either the data or its complement -- whichever differs from the
+stored content in fewer cells -- plus one flag bit recording the choice.
+At most half the bits of any word are ever programmed.
+
+The PCM paper treats Flip-N-Write as a DW alternative; we provide it as
+an ablation baseline (``benchmarks/test_ablation_write_reduction.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .bits import flip_mask
+
+
+@dataclass(frozen=True)
+class FlipNWriteResult:
+    """Outcome of Flip-N-Write encoding one line.
+
+    Attributes:
+        stored_bits: The cell image after the write (data or per-word
+            complement), excluding flag bits.
+        flags: Per-word inversion flags (1 = word stored complemented).
+        flip_count: Total cells programmed, including flag-bit updates.
+    """
+
+    stored_bits: np.ndarray
+    flags: np.ndarray
+    flip_count: int
+
+
+class FlipNWrite:
+    """Flip-N-Write encoder over fixed-size words."""
+
+    def __init__(self, word_bits: int = 32) -> None:
+        if word_bits <= 0:
+            raise ValueError("word size must be positive")
+        self.word_bits = word_bits
+
+    def encode(
+        self,
+        old_bits: np.ndarray,
+        old_flags: np.ndarray,
+        new_bits: np.ndarray,
+    ) -> FlipNWriteResult:
+        """Choose per-word inversion minimizing programmed cells.
+
+        Args:
+            old_bits: Current cell image (possibly complemented words).
+            old_flags: Current per-word inversion flags.
+            new_bits: The logical data to store.
+
+        Returns:
+            The new cell image, flags, and total flip count.
+        """
+        if old_bits.size % self.word_bits != 0:
+            raise ValueError(
+                f"line of {old_bits.size} bits is not divisible into "
+                f"{self.word_bits}-bit words"
+            )
+        word_count = old_bits.size // self.word_bits
+        if old_flags.size != word_count:
+            raise ValueError("flag count must equal word count")
+
+        old_words = old_bits.reshape(word_count, self.word_bits)
+        new_words = new_bits.reshape(word_count, self.word_bits)
+        inverted_words = 1 - new_words
+
+        direct_flips = np.count_nonzero(old_words != new_words, axis=1)
+        inverted_flips = np.count_nonzero(old_words != inverted_words, axis=1)
+        # Flag-bit flips count toward wear too.
+        direct_cost = direct_flips + (old_flags != 0)
+        inverted_cost = inverted_flips + (old_flags != 1)
+
+        invert = inverted_cost < direct_cost
+        stored = np.where(invert[:, None], inverted_words, new_words)
+        flags = invert.astype(np.uint8)
+        total = int(np.where(invert, inverted_cost, direct_cost).sum())
+        return FlipNWriteResult(stored.reshape(-1), flags, total)
+
+    def decode(self, stored_bits: np.ndarray, flags: np.ndarray) -> np.ndarray:
+        """Recover the logical data from the cell image and flags."""
+        word_count = stored_bits.size // self.word_bits
+        words = stored_bits.reshape(word_count, self.word_bits)
+        logical = np.where(flags[:, None].astype(bool), 1 - words, words)
+        return logical.reshape(-1).astype(np.uint8)
+
+    def upper_bound_flips(self, line_bits: int) -> int:
+        """Flip-N-Write's guarantee: at most half of each word + flag."""
+        words = line_bits // self.word_bits
+        return words * (self.word_bits // 2 + 1)
+
+
+def naive_flip_count(old_bits: np.ndarray, new_bits: np.ndarray) -> int:
+    """Plain DW flips, for comparing against Flip-N-Write."""
+    return int(np.count_nonzero(flip_mask(old_bits, new_bits)))

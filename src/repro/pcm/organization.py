@@ -1,0 +1,138 @@
+"""DIMM-level organization of the PCM main memory (Figure 2, Table II).
+
+The baseline is a DDRx ECC-DIMM: each rank has nine x8 chips (eight
+data + one ECC), a cache line is interleaved across all chips of a
+rank, and the ninth chip's 64 bits per line hold the error-correction
+metadata (ECP-6 uses 61 of them, leaving 3 spare bits -- one of which
+the paper reuses as the per-line "compressed?" flag).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Data chips per rank.
+DATA_CHIPS_PER_RANK = 8
+#: Total chips per rank, including the ECC chip.
+CHIPS_PER_RANK = 9
+#: Bits contributed by each chip per line (x8 chip, burst of 8).
+BITS_PER_CHIP_PER_LINE = 64
+#: ECC-chip bits available to the correction scheme per line.
+ECC_BITS_PER_LINE = BITS_PER_CHIP_PER_LINE
+
+
+@dataclass(frozen=True)
+class PhysicalLocation:
+    """Where a physical line index lands in the memory topology."""
+
+    channel: int
+    rank: int
+    bank: int
+    row: int
+
+
+@dataclass(frozen=True)
+class MemoryOrganization:
+    """Topology of the PCM main memory.
+
+    The paper's full-scale configuration (Table II) is 4 GB over 2
+    channels with 4 banks per rank; simulations default to a scaled-down
+    line count, which this class also describes (the topology shape is
+    preserved, only rows shrink).
+    """
+
+    line_bytes: int = 64
+    page_bytes: int = 4096
+    channels: int = 2
+    dimms_per_channel: int = 1
+    ranks_per_dimm: int = 1
+    banks_per_rank: int = 4
+    rows_per_bank: int = 2**23  # 4 GB total at the defaults
+
+    def __post_init__(self) -> None:
+        for name in (
+            "line_bytes",
+            "page_bytes",
+            "channels",
+            "dimms_per_channel",
+            "ranks_per_dimm",
+            "banks_per_rank",
+            "rows_per_bank",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.page_bytes % self.line_bytes != 0:
+            raise ValueError("page size must be a multiple of the line size")
+
+    @property
+    def total_ranks(self) -> int:
+        """Ranks across all channels and DIMMs."""
+        return self.channels * self.dimms_per_channel * self.ranks_per_dimm
+
+    @property
+    def total_banks(self) -> int:
+        """Banks across the whole memory."""
+        return self.total_ranks * self.banks_per_rank
+
+    @property
+    def total_lines(self) -> int:
+        """64-byte lines across the whole memory."""
+        return self.total_banks * self.rows_per_bank
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total data capacity in bytes."""
+        return self.total_lines * self.line_bytes
+
+    @property
+    def lines_per_page(self) -> int:
+        """Cache lines per OS page."""
+        return self.page_bytes // self.line_bytes
+
+    def locate(self, line_index: int) -> PhysicalLocation:
+        """Decompose a physical line index into the topology.
+
+        Lines are interleaved channel-first, then bank, then row --
+        consecutive lines hit different channels/banks, the standard
+        mapping for bank-level parallelism.
+        """
+        if not 0 <= line_index < self.total_lines:
+            raise IndexError(
+                f"line {line_index} out of range [0, {self.total_lines})"
+            )
+        channel = line_index % self.channels
+        remainder = line_index // self.channels
+        bank_global = remainder % (self.banks_per_rank * self.total_ranks // self.channels)
+        row = remainder // (self.banks_per_rank * self.total_ranks // self.channels)
+        ranks_per_channel = self.total_ranks // self.channels
+        rank, bank = divmod(bank_global, self.banks_per_rank)
+        del ranks_per_channel
+        return PhysicalLocation(channel=channel, rank=rank, bank=bank, row=row)
+
+    def line_of(self, location: PhysicalLocation) -> int:
+        """Inverse of :meth:`locate`."""
+        banks_per_channel = self.banks_per_rank * self.total_ranks // self.channels
+        bank_global = location.rank * self.banks_per_rank + location.bank
+        remainder = location.row * banks_per_channel + bank_global
+        return remainder * self.channels + location.channel
+
+    def scaled(self, total_lines: int) -> "MemoryOrganization":
+        """A same-shape organization with ``total_lines`` lines.
+
+        Used by the lifetime simulator to run at laptop scale while
+        keeping channel/bank interleaving identical.
+        """
+        if total_lines % self.total_banks != 0:
+            raise ValueError(
+                f"total_lines must be a multiple of {self.total_banks} "
+                "to preserve the topology shape"
+            )
+        return MemoryOrganization(
+            line_bytes=self.line_bytes,
+            page_bytes=self.page_bytes,
+            channels=self.channels,
+            dimms_per_channel=self.dimms_per_channel,
+            ranks_per_dimm=self.ranks_per_dimm,
+            banks_per_rank=self.banks_per_rank,
+            rows_per_bank=total_lines // self.total_banks,
+        )

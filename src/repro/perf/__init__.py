@@ -1,0 +1,30 @@
+"""Latency and performance-overhead models (Section V-B)."""
+
+from .overhead import OverheadReport, PerformanceModel, ReadMix, measure_read_mix
+from .timing import DEFAULT_CPU_GHZ, AccessLatency, LatencyModel
+
+__all__ = [
+    "DEFAULT_CPU_GHZ",
+    "AccessLatency",
+    "LatencyModel",
+    "OverheadReport",
+    "PerformanceModel",
+    "ReadMix",
+    "measure_read_mix",
+]
+
+from .queueing import (  # noqa: E402
+    MemoryControllerSim,
+    QueueingStats,
+    Request,
+    read_latency_overhead_queued,
+    synthesize_requests,
+)
+
+__all__ += [
+    "MemoryControllerSim",
+    "QueueingStats",
+    "Request",
+    "read_latency_overhead_queued",
+    "synthesize_requests",
+]

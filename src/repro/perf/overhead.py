@@ -1,0 +1,118 @@
+"""Section V-B: performance overhead of the compression architecture.
+
+The design adds latency only on the read path (decompression; writes
+compress in the background of the 32-entry write queue).  Given a
+workload's compressed-read mix, this module computes:
+
+* the average read-latency increase (paper: up to ~2 %);
+* the end-to-end slowdown via a memory-latency CPI decomposition
+  (paper: < 0.3 % on average).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..compression import BestOfCompressor
+from ..traces import SyntheticWorkload, WorkloadProfile
+from .timing import LatencyModel
+
+
+@dataclass(frozen=True)
+class ReadMix:
+    """How a workload's memory reads decompose by stored format."""
+
+    uncompressed: float
+    bdi: float
+    fpc: float
+
+    def __post_init__(self) -> None:
+        total = self.uncompressed + self.bdi + self.fpc
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"read mix must sum to 1, got {total}")
+        if min(self.uncompressed, self.bdi, self.fpc) < 0:
+            raise ValueError("read mix fractions cannot be negative")
+
+
+def measure_read_mix(
+    profile: WorkloadProfile,
+    n_lines: int = 128,
+    samples: int = 2000,
+    seed: int = 0,
+    compressor: BestOfCompressor | None = None,
+) -> ReadMix:
+    """Estimate a workload's stored-format mix from its write stream.
+
+    Reads hit whatever format the last write stored, so sampling the
+    write stream's winning compressor approximates the read mix.
+    """
+    compressor = compressor or BestOfCompressor()
+    generator = SyntheticWorkload(profile, n_lines=n_lines, seed=seed)
+    counts = {"uncompressed": 0, "bdi": 0, "fpc": 0}
+    for write in generator.iter_writes(samples):
+        result = compressor.compress(write.data)
+        if result.size_bytes >= 64:
+            counts["uncompressed"] += 1
+        else:
+            counts[result.algorithm] += 1
+    return ReadMix(
+        uncompressed=counts["uncompressed"] / samples,
+        bdi=counts["bdi"] / samples,
+        fpc=counts["fpc"] / samples,
+    )
+
+
+@dataclass(frozen=True)
+class OverheadReport:
+    """Section V-B's two headline numbers for one workload."""
+
+    workload: str
+    read_latency_overhead: float  # fractional increase in mean read latency
+    slowdown: float  # fractional end-to-end performance loss
+
+
+class PerformanceModel:
+    """Analytic CPI-decomposition performance model."""
+
+    def __init__(self, latency: LatencyModel | None = None) -> None:
+        self.latency = latency or LatencyModel()
+
+    def average_read_latency_ns(self, mix: ReadMix) -> float:
+        """Mean read latency under a stored-format mix."""
+        plain = self.latency.read_latency(None).total_ns
+        bdi = self.latency.read_latency("bdi").total_ns
+        fpc = self.latency.read_latency("fpc").total_ns
+        return mix.uncompressed * plain + mix.bdi * bdi + mix.fpc * fpc
+
+    def read_latency_overhead(self, mix: ReadMix) -> float:
+        """Fractional mean-read-latency increase over no compression."""
+        base = self.latency.read_latency(None).total_ns
+        return self.average_read_latency_ns(mix) / base - 1.0
+
+    def slowdown(
+        self,
+        mix: ReadMix,
+        memory_read_cpi_fraction: float = 0.15,
+    ) -> float:
+        """End-to-end slowdown via CPI decomposition.
+
+        ``memory_read_cpi_fraction`` is the share of execution time
+        spent stalled on PCM reads (memory-intensive SPEC averages
+        ~10-20 % behind a 4 MB LLC).  Only that share dilates with read
+        latency.
+        """
+        if not 0 <= memory_read_cpi_fraction <= 1:
+            raise ValueError("CPI fraction must be in [0, 1]")
+        return self.read_latency_overhead(mix) * memory_read_cpi_fraction
+
+    def report(
+        self, profile: WorkloadProfile, mix: ReadMix | None = None, **mix_kwargs
+    ) -> OverheadReport:
+        """Both Section V-B numbers for one workload."""
+        if mix is None:
+            mix = measure_read_mix(profile, **mix_kwargs)
+        return OverheadReport(
+            workload=profile.name,
+            read_latency_overhead=self.read_latency_overhead(mix),
+            slowdown=self.slowdown(mix),
+        )

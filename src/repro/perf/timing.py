@@ -1,0 +1,75 @@
+"""Read/write latency accounting for the PCM memory path (Table II).
+
+Converts the DDR-style interface parameters and the PCM array timings
+into end-to-end access latencies, and adds the decompression penalty
+that Section V-B charges to reads of compressed lines (BDI: 1 cycle,
+FPC: 5 cycles, on the memory controller's clock).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..pcm import PCMTimings
+
+#: Table II CPU clock (the controller runs on the CPU die).
+DEFAULT_CPU_GHZ = 2.5
+
+
+@dataclass(frozen=True)
+class AccessLatency:
+    """One access type's latency decomposition, in nanoseconds."""
+
+    interface_ns: float
+    array_ns: float
+    decompression_ns: float = 0.0
+
+    @property
+    def total_ns(self) -> float:
+        """End-to-end latency in nanoseconds."""
+        return self.interface_ns + self.array_ns + self.decompression_ns
+
+
+class LatencyModel:
+    """Latency calculator for reads/writes with optional compression."""
+
+    def __init__(
+        self,
+        timings: PCMTimings | None = None,
+        cpu_ghz: float = DEFAULT_CPU_GHZ,
+        bdi_cycles: int = 1,
+        fpc_cycles: int = 5,
+    ) -> None:
+        if cpu_ghz <= 0:
+            raise ValueError("CPU clock must be positive")
+        self.timings = timings or PCMTimings()
+        self.cpu_ghz = cpu_ghz
+        self.bdi_cycles = bdi_cycles
+        self.fpc_cycles = fpc_cycles
+
+    @property
+    def cpu_cycle_ns(self) -> float:
+        """One CPU clock period in nanoseconds."""
+        return 1.0 / self.cpu_ghz
+
+    def read_latency(self, decompressor: str | None = None) -> AccessLatency:
+        """Read latency; ``decompressor`` is None, "bdi" or "fpc"."""
+        interface = self.timings.read_latency_cycles() * self.timings.cycle_ns
+        decompression = 0.0
+        if decompressor == "bdi":
+            decompression = self.bdi_cycles * self.cpu_cycle_ns
+        elif decompressor == "fpc":
+            decompression = self.fpc_cycles * self.cpu_cycle_ns
+        elif decompressor is not None:
+            raise ValueError(f"unknown decompressor {decompressor!r}")
+        return AccessLatency(
+            interface_ns=interface,
+            array_ns=self.timings.read_ns,
+            decompression_ns=decompression,
+        )
+
+    def write_latency(self) -> AccessLatency:
+        """Write latency (compression is off the critical path: writes
+        sit in the controller's 32-entry queue while compressing)."""
+        interface = self.timings.write_latency_cycles() * self.timings.cycle_ns
+        return AccessLatency(interface_ns=interface, array_ns=self.timings.write_ns)

@@ -1,0 +1,44 @@
+"""Workload profiles, synthetic write-back streams, LLC model, trace IO."""
+
+from .llc import CacheStats, WritebackCache
+from .io import TraceFormatError, load_trace, save_trace
+from .synthetic import PayloadModel, SyntheticWorkload
+from .trace import Trace, WriteBack
+from .workloads import (
+    PROFILES,
+    SHAPE_CLASSES,
+    WORKLOAD_ORDER,
+    CompressibilityClass,
+    SizeShape,
+    WorkloadProfile,
+    get_profile,
+    tilted_weights,
+)
+
+__all__ = [
+    "PROFILES",
+    "SHAPE_CLASSES",
+    "WORKLOAD_ORDER",
+    "CacheStats",
+    "CompressibilityClass",
+    "PayloadModel",
+    "SizeShape",
+    "SyntheticWorkload",
+    "Trace",
+    "TraceFormatError",
+    "WorkloadProfile",
+    "WriteBack",
+    "WritebackCache",
+    "get_profile",
+    "load_trace",
+    "save_trace",
+    "tilted_weights",
+]
+
+from .mixes import MixedWorkload, MixMember  # noqa: E402
+
+__all__ += ["MixMember", "MixedWorkload"]
+
+from .accesses import Access, AccessStreamGenerator, CachedWorkload  # noqa: E402
+
+__all__ += ["Access", "AccessStreamGenerator", "CachedWorkload"]

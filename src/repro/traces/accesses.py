@@ -1,0 +1,150 @@
+"""CPU access streams filtered through the LLC (the gem5-like path).
+
+The calibrated generator in :mod:`repro.traces.synthetic` produces the
+*write-back* stream directly.  This module models the level above it,
+the way the paper's gem5 setup did: a core issues loads and stores with
+spatial and temporal locality, a shared write-back LLC filters them,
+and only dirty evictions reach the PCM controller.  WPKI is then an
+*output* (misses x dirtiness) rather than an input -- useful for
+studying how cache pressure shapes PCM wear.
+
+:class:`CachedWorkload` exposes the same ``next_write`` surface as
+``SyntheticWorkload``, so it drops into the lifetime simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .llc import WritebackCache
+from .synthetic import SyntheticWorkload
+from .trace import WriteBack
+from .workloads import WorkloadProfile
+
+
+@dataclass(frozen=True)
+class Access:
+    """One CPU-side memory access at cache-line granularity."""
+
+    line: int
+    is_write: bool
+
+
+class AccessStreamGenerator:
+    """Load/store stream with sequential runs and a Zipf-hot working set."""
+
+    def __init__(
+        self,
+        n_lines: int,
+        write_ratio: float = 0.35,
+        sequential_run: int = 4,
+        zipf_alpha: float = 0.9,
+        seed: int = 0,
+    ) -> None:
+        if n_lines < 1:
+            raise ValueError("need at least one line")
+        if not 0 <= write_ratio <= 1:
+            raise ValueError("write ratio must be in [0, 1]")
+        if sequential_run < 1:
+            raise ValueError("sequential runs need at least one access")
+        self.n_lines = n_lines
+        self.write_ratio = write_ratio
+        self.sequential_run = sequential_run
+        self._rng = np.random.default_rng(seed)
+
+        ranks = np.arange(1, n_lines + 1, dtype=float)
+        probabilities = ranks ** (-zipf_alpha)
+        probabilities /= probabilities.sum()
+        self._cumulative = np.cumsum(probabilities)
+        self._permutation = self._rng.permutation(n_lines)
+        self._run_remaining = 0
+        self._run_line = 0
+
+    def next_access(self) -> Access:
+        """The next load/store in the stream."""
+        if self._run_remaining > 0:
+            self._run_remaining -= 1
+            self._run_line = (self._run_line + 1) % self.n_lines
+            line = self._run_line
+        else:
+            draw = int(
+                np.searchsorted(self._cumulative, float(self._rng.random()))
+            )
+            line = int(self._permutation[min(draw, self.n_lines - 1)])
+            self._run_line = line
+            self._run_remaining = int(self._rng.integers(0, self.sequential_run))
+        return Access(line=line, is_write=bool(self._rng.random() < self.write_ratio))
+
+
+class CachedWorkload:
+    """Access stream -> LLC -> write-back stream, lifetime-simulator ready."""
+
+    def __init__(
+        self,
+        profile: WorkloadProfile,
+        n_lines: int,
+        cache_capacity_bytes: int = 64 * 1024,
+        cache_ways: int = 8,
+        write_ratio: float = 0.35,
+        seed: int = 0,
+    ) -> None:
+        self.n_lines = n_lines
+        self.profile = profile
+        # The synthetic workload supplies each line's evolving *values*;
+        # the access generator decides *when* lines are touched.
+        self._values = SyntheticWorkload(profile, n_lines=n_lines, seed=seed)
+        self._line_data: dict[int, bytes] = {}
+        self._accesses = AccessStreamGenerator(
+            n_lines=n_lines,
+            write_ratio=write_ratio,
+            zipf_alpha=profile.zipf_alpha,
+            seed=seed + 1,
+        )
+        self.cache = WritebackCache(
+            capacity_bytes=cache_capacity_bytes, ways=cache_ways
+        )
+        self.accesses_issued = 0
+
+    @property
+    def name(self) -> str:
+        """Human-readable stream name."""
+        return f"cached({self.profile.name})"
+
+    def next_write(self) -> WriteBack:
+        """Advance the access stream until the LLC evicts a dirty line.
+
+        Raises:
+            RuntimeError: If no dirty eviction occurs within a large
+                access budget -- the working set fits the cache
+                entirely, so the configuration produces no PCM write
+                traffic (shrink the cache or grow ``n_lines``).
+        """
+        for _ in range(200_000):
+            access = self._accesses.next_access()
+            self.accesses_issued += 1
+            data = None
+            if access.is_write:
+                data = self._next_value(access.line)
+            evicted = self.cache.access(access.line, data)
+            if evicted is not None:
+                return evicted
+        raise RuntimeError(
+            "no write-backs: the working set fits entirely in the LLC "
+            f"({self.n_lines} lines vs {self.cache.sets * self.cache.ways} "
+            "cache entries)"
+        )
+
+    def _next_value(self, line: int) -> bytes:
+        """The line's next content, from the calibrated value model."""
+        data = self._values.write_to(line).data
+        self._line_data[line] = data
+        return data
+
+    def measured_wpki(self, instructions_per_access: float = 2.0) -> float:
+        """Write-backs per kilo-instruction implied by the run so far."""
+        if self.accesses_issued == 0:
+            return 0.0
+        instructions = self.accesses_issued * instructions_per_access
+        return self.cache.stats.writebacks / instructions * 1000.0

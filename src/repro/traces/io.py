@@ -1,0 +1,73 @@
+"""Binary trace serialization.
+
+Traces are stored in a simple framed binary format so long-running
+lifetime studies can reuse the same stream across configurations:
+
+* 16-byte magic/header: ``b"PCMTRACE"`` + version (u16) + reserved;
+* UTF-8 workload name, length-prefixed (u16);
+* line-count (u64) and record-count (u64);
+* records: line index (u32) + 64-byte payload each.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from pathlib import Path
+
+from .trace import Trace, WriteBack
+
+_MAGIC = b"PCMTRACE"
+_VERSION = 1
+_HEADER = struct.Struct("<8sHxxxxxx")
+_NAME_LEN = struct.Struct("<H")
+_COUNTS = struct.Struct("<QQ")
+_RECORD = struct.Struct("<I64s")
+
+
+class TraceFormatError(ValueError):
+    """Raised when a trace file is malformed."""
+
+
+def save_trace(trace: Trace, path: str | Path) -> None:
+    """Serialize a trace to ``path``."""
+    name = trace.workload.encode("utf-8")
+    with open(path, "wb") as stream:
+        stream.write(_HEADER.pack(_MAGIC, _VERSION))
+        stream.write(_NAME_LEN.pack(len(name)))
+        stream.write(name)
+        stream.write(_COUNTS.pack(trace.n_lines, len(trace)))
+        for write in trace:
+            stream.write(_RECORD.pack(write.line, write.data))
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Deserialize a trace from ``path``."""
+    with open(path, "rb") as stream:
+        return _read_trace(stream)
+
+
+def _read_exact(stream: io.BufferedIOBase, size: int) -> bytes:
+    data = stream.read(size)
+    if len(data) != size:
+        raise TraceFormatError(
+            f"truncated trace file: wanted {size} bytes, got {len(data)}"
+        )
+    return data
+
+
+def _read_trace(stream: io.BufferedIOBase) -> Trace:
+    magic, version = _HEADER.unpack(_read_exact(stream, _HEADER.size))
+    if magic != _MAGIC:
+        raise TraceFormatError("not a PCM trace file (bad magic)")
+    if version != _VERSION:
+        raise TraceFormatError(f"unsupported trace version {version}")
+    (name_length,) = _NAME_LEN.unpack(_read_exact(stream, _NAME_LEN.size))
+    workload = _read_exact(stream, name_length).decode("utf-8")
+    n_lines, record_count = _COUNTS.unpack(_read_exact(stream, _COUNTS.size))
+
+    trace = Trace(workload=workload, n_lines=n_lines)
+    for _ in range(record_count):
+        line, data = _RECORD.unpack(_read_exact(stream, _RECORD.size))
+        trace.append(WriteBack(line=line, data=data))
+    return trace

@@ -1,0 +1,113 @@
+"""A set-associative write-back last-level cache model.
+
+The paper's CMP (Table II) filters memory traffic through a shared 4 MB
+L2: only dirty evictions reach the PCM controller.  This model lets
+examples and integration tests derive write-back streams from raw
+access streams the way gem5 did, and quantifies how WPKI emerges from
+access locality.  (The lifetime experiments use the calibrated
+write-back generator in :mod:`repro.traces.synthetic` directly.)
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from .trace import WriteBack
+
+
+@dataclass
+class CacheStats:
+    """Aggregate access statistics."""
+
+    accesses: int = 0
+    hits: int = 0
+    writebacks: int = 0
+    reads_to_memory: int = 0
+
+    @property
+    def misses(self) -> int:
+        """Accesses that missed the cache."""
+        return self.accesses - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of accesses that hit."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+@dataclass
+class _CacheLine:
+    data: bytes
+    dirty: bool = field(default=False)
+
+
+class WritebackCache:
+    """LRU set-associative cache producing dirty-eviction write-backs."""
+
+    def __init__(
+        self,
+        capacity_bytes: int = 4 * 2**20,
+        line_bytes: int = 64,
+        ways: int = 8,
+    ) -> None:
+        if capacity_bytes <= 0 or line_bytes <= 0 or ways <= 0:
+            raise ValueError("capacity, line size and ways must be positive")
+        lines = capacity_bytes // line_bytes
+        if lines % ways != 0 or lines == 0:
+            raise ValueError("capacity must hold a whole number of sets")
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.sets = lines // ways
+        self._sets: list[OrderedDict[int, _CacheLine]] = [
+            OrderedDict() for _ in range(self.sets)
+        ]
+        self.stats = CacheStats()
+
+    def access(
+        self, line: int, data: bytes | None = None
+    ) -> WriteBack | None:
+        """Read (``data is None``) or write one cache line.
+
+        Returns:
+            The dirty eviction this access caused, if any -- exactly the
+            write-back stream the PCM controller sees.
+        """
+        if line < 0:
+            raise ValueError("line index cannot be negative")
+        if data is not None and len(data) != self.line_bytes:
+            raise ValueError(f"write data must be {self.line_bytes} bytes")
+
+        self.stats.accesses += 1
+        cache_set = self._sets[line % self.sets]
+        entry = cache_set.get(line)
+        evicted = None
+
+        if entry is not None:
+            self.stats.hits += 1
+            cache_set.move_to_end(line)
+        else:
+            self.stats.reads_to_memory += 1
+            if len(cache_set) >= self.ways:
+                victim_line, victim = cache_set.popitem(last=False)
+                if victim.dirty:
+                    self.stats.writebacks += 1
+                    evicted = WriteBack(line=victim_line, data=victim.data)
+            entry = _CacheLine(data=bytes(self.line_bytes))
+            cache_set[line] = entry
+
+        if data is not None:
+            entry.data = data
+            entry.dirty = True
+        return evicted
+
+    def flush(self) -> list[WriteBack]:
+        """Write back every dirty line (end-of-run drain)."""
+        flushed = []
+        for cache_set in self._sets:
+            for line, entry in cache_set.items():
+                if entry.dirty:
+                    self.stats.writebacks += 1
+                    flushed.append(WriteBack(line=line, data=entry.data))
+            cache_set.clear()
+        return flushed

@@ -1,0 +1,107 @@
+"""Multiprogrammed workload mixes.
+
+The paper runs each SPEC program in rate mode (16 copies of the same
+binary), so its write-back streams are homogeneous.  Real consolidated
+systems interleave *different* programs over one physical memory; this
+module composes several workload profiles into a single stream:
+
+* the physical line space is partitioned among the programs
+  proportionally to requested shares (a static-partitioning OS model);
+* writes interleave randomly, weighted by each program's WPKI (a
+  program that writes back twice as often contributes twice the
+  traffic).
+
+The mix exposes the same ``next_write`` / ``iter_writes`` /
+``generate_trace`` surface as :class:`SyntheticWorkload`, so it drops
+into the lifetime simulator unchanged -- see
+``benchmarks/test_extension_mixes.py``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from .synthetic import SyntheticWorkload
+from .trace import Trace, WriteBack
+from .workloads import WorkloadProfile
+
+
+@dataclass(frozen=True)
+class MixMember:
+    """One program in a mix: its profile and its share of the memory."""
+
+    profile: WorkloadProfile
+    share: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.share <= 0:
+            raise ValueError("share must be positive")
+
+
+class MixedWorkload:
+    """Interleaved write-back stream from several workload profiles."""
+
+    def __init__(
+        self,
+        members: Sequence[MixMember],
+        n_lines: int,
+        seed: int = 0,
+    ) -> None:
+        if not members:
+            raise ValueError("a mix needs at least one member")
+        if n_lines < len(members):
+            raise ValueError("need at least one line per member")
+        self.n_lines = n_lines
+        self._rng = np.random.default_rng(seed)
+
+        total_share = sum(member.share for member in members)
+        self._generators: list[SyntheticWorkload] = []
+        self._bases: list[int] = []
+        base = 0
+        for index, member in enumerate(members):
+            if index == len(members) - 1:
+                span = n_lines - base  # absorb rounding in the last slot
+            else:
+                span = max(1, round(n_lines * member.share / total_share))
+                span = min(span, n_lines - base - (len(members) - index - 1))
+            self._generators.append(
+                SyntheticWorkload(
+                    member.profile, n_lines=span, seed=seed + 101 * index
+                )
+            )
+            self._bases.append(base)
+            base += span
+
+        wpki = np.array([member.profile.wpki for member in members], dtype=float)
+        self._weights = wpki / wpki.sum()
+        self._members = tuple(members)
+
+    @property
+    def name(self) -> str:
+        """Human-readable stream name."""
+        return "mix(" + "+".join(m.profile.name for m in self._members) + ")"
+
+    @property
+    def members(self) -> tuple[MixMember, ...]:
+        """The mix's member programs."""
+        return self._members
+
+    def next_write(self) -> WriteBack:
+        """Draw a program by write intensity, then its next write-back."""
+        index = int(self._rng.choice(len(self._generators), p=self._weights))
+        write = self._generators[index].next_write()
+        return WriteBack(line=self._bases[index] + write.line, data=write.data)
+
+    def iter_writes(self, count: int) -> Iterator[WriteBack]:
+        """Yield the next ``count`` write-backs."""
+        for _ in range(count):
+            yield self.next_write()
+
+    def generate_trace(self, count: int) -> Trace:
+        """Materialize a trace of ``count`` write-backs."""
+        trace = Trace(workload=self.name, n_lines=self.n_lines)
+        trace.extend(self.iter_writes(count))
+        return trace

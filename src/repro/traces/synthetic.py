@@ -1,0 +1,455 @@
+"""Synthetic write-back streams calibrated to the paper's workloads.
+
+This module replaces gem5 + SPEC CPU2006 (see DESIGN.md, substitution
+table).  For each workload profile it synthesizes a stream of 64-byte
+payloads whose *observable statistics* match what the paper's analysis
+depends on:
+
+* best-of-BDI/FPC compressed-size distribution (Table III CR, Figure 3,
+  Figure 11 CDF shapes);
+* probability that consecutive writes to a block change compressed size
+  (Figure 6) and the magnitude of those swings (Figure 7);
+* bit-flip behaviour under differential writes (Figures 1 and 5) via
+  size-preserving value perturbation ("turbulence");
+* write-address skew (Zipf) over the working set.
+
+Payloads come in two styles.  *FPC-style* lines hold ``r`` incompressible
+4-byte words followed by zero words: FPC encodes them in
+``35r + 6*ceil((16-r)/8)`` bits, giving a fine-grained ladder of
+compressed sizes.  *BDI-style* lines are base+delta friendly (narrow
+deltas from a wide base), which FPC cannot compress -- so the two
+styles separate the BDI and FPC bars in Figure 3 exactly like pointer-
+dense vs small-integer-dense applications do.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..compression import BestOfCompressor
+from .trace import Trace, WriteBack
+from .workloads import WorkloadProfile, tilted_weights
+
+_WORDS = 16  # 4-byte words per line
+_STYLE_FPC = "fpc"
+_STYLE_BDI = "bdi"
+
+#: BDI-style achievable compressed sizes (bytes) and their variants.
+_BDI_LADDER = ((1, "zeros"), (8, "rep8"), (16, "b8d1"), (24, "b8d2"),
+               (40, "b8d4"), (64, "raw"))
+
+
+def roll_line(data: bytes, word_offset: int, word_bytes: int) -> bytes:
+    """Circularly rotate a line by whole words.
+
+    Blocks emit their canonical (front-loaded) layout rotated by a
+    per-block offset that re-draws on large content changes.  Over time
+    a block's non-zero content therefore visits every position, so
+    *raw-domain* differential-write flips scatter across the whole line
+    (the Figure 1 behaviour) -- while the compressed size barely moves:
+    the non-zero words stay circularly contiguous, so FPC sees at most
+    one extra zero run (<= 6 bits) and BDI's base+delta fit is
+    rotation-invariant by construction.
+    """
+    if word_offset == 0:
+        return data
+    return np.roll(
+        np.frombuffer(data, dtype=np.uint8), word_offset * word_bytes
+    ).tobytes()
+
+
+class PayloadModel:
+    """Constructs and perturbs payloads with controllable compressibility."""
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+
+    # -- FPC-style lines ------------------------------------------------
+    #
+    # Layout: word 0 is the *lead* word, words 1..r-1 are incompressible,
+    # the rest are zeros.  The lead word's FPC class can toggle between
+    # "incompressible" (35 bits) and "halfword sign-extended" (19 bits):
+    # because FPC is a variable-length code, toggling it shifts every
+    # downstream word's position in the bitstream -- a tiny raw change
+    # (one word) that flips a large share of the *compressed* image.
+    # This is the entropy-amplification effect behind the paper's
+    # Figures 5 and 8.
+
+    def make_fpc(self, random_words: int, lead_small: bool = False) -> bytes:
+        """A line of ``random_words`` nonzero words, then zeros."""
+        if not 0 <= random_words <= _WORDS:
+            raise ValueError("random word count must be in [0, 16]")
+        words = np.zeros(_WORDS, dtype=np.uint32)
+        if random_words:
+            words[:random_words] = self._incompressible_words(random_words)
+            words[0] = self._lead_word(lead_small)
+        return words.tobytes()
+
+    def perturb_fpc(self, data: bytes, random_words: int, turbulence: float) -> bytes:
+        """Flip low bytes of some nonzero words; size class is preserved."""
+        if random_words == 0:
+            return data
+        words = np.frombuffer(data, dtype=np.uint32).copy()
+        k = max(1, round(turbulence * random_words))
+        targets = self._rng.choice(random_words, size=min(k, random_words), replace=False)
+        # XOR a nonzero byte into the lowest byte: an incompressible
+        # word's low halfword stays >= 0x0100, and an SE16 lead stays in
+        # [0x0100, 0x7FFF], so every word keeps its FPC class.
+        words[targets] ^= self._rng.integers(1, 256, size=targets.size, dtype=np.uint32)
+        return words.tobytes()
+
+    def toggle_fpc_lead(self, data: bytes, lead_small: bool) -> bytes:
+        """Re-class the lead word; the compressed stream realigns."""
+        words = np.frombuffer(data, dtype=np.uint32).copy()
+        words[0] = self._lead_word(lead_small)
+        return words.tobytes()
+
+    def resize_fpc(
+        self,
+        data: bytes,
+        old_words: int,
+        new_words: int,
+        lead_small: bool,
+    ) -> bytes:
+        """Change the nonzero-word count, keeping common words.
+
+        Models a block whose content partially changes: the surviving
+        words are untouched in the raw image (small differential write)
+        while the compressed stream both changes length and realigns.
+        """
+        if not 0 <= new_words <= _WORDS:
+            raise ValueError("random word count must be in [0, 16]")
+        words = np.frombuffer(data, dtype=np.uint32).copy()
+        if new_words > old_words:
+            words[old_words:new_words] = self._incompressible_words(
+                new_words - old_words
+            )
+        else:
+            words[new_words:] = 0
+        if new_words:
+            words[0] = self._lead_word(lead_small)
+        return words.tobytes()
+
+    def _lead_word(self, small: bool) -> int:
+        """A lead-word value of the requested FPC class."""
+        if small:
+            # Halfword sign-extended (19-bit encoding), clear of the
+            # 8-bit class: value in [0x0100, 0x7FFF].
+            return int(self._rng.integers(0x0100, 0x8000))
+        return int(self._incompressible_words(1)[0])
+
+    def _incompressible_words(self, count: int) -> np.ndarray:
+        """32-bit words no FPC pattern matches (see module docstring)."""
+        high = self._rng.integers(0x0100, 0x7F00, size=count, dtype=np.uint32)
+        low = self._rng.integers(0x0100, 0xFE00, size=count, dtype=np.uint32)
+        return (high << 16) | low
+
+    # -- BDI-style lines ------------------------------------------------
+
+    def make_bdi(self, variant: str) -> bytes:
+        """A base+delta-friendly line for one BDI size class."""
+        if variant == "zeros":
+            return bytes(64)
+        if variant == "rep8":
+            return self._rng.bytes(8) * 8
+        if variant == "raw":
+            return self._rng.bytes(64)
+        base = int(self._rng.integers(1 << 33, 1 << 62, dtype=np.uint64))
+        # Delta spans are kept below half the variant width so that any
+        # word can serve as the base: pairwise deltas then still fit,
+        # which keeps the variant stable under per-block rotation.
+        if variant == "b8d1":
+            deltas = self._rng.integers(-60, 61, size=8)
+        elif variant == "b8d2":
+            deltas = self._rng.integers(-15_000, 15_001, size=8)
+            deltas[1] = 10_000  # keep one delta beyond int8 so b8d1 misfits
+        elif variant == "b8d4":
+            deltas = self._rng.integers(-(2**29), 2**29, size=8)
+            deltas[1] = 2**20  # keep one delta beyond int16
+        else:
+            raise ValueError(f"unknown BDI variant {variant!r}")
+        deltas[0] = 0  # the base word itself
+        words = (base + deltas).astype(np.uint64)
+        return words.tobytes()
+
+    def resize_bdi(self, data: bytes, old_variant: str, new_variant: str) -> bytes:
+        """Move a base+delta line to another variant, keeping content.
+
+        Deltas that already fit the new width survive unchanged, so a
+        widening re-encode (b8d1 -> b8d2) barely touches the raw image
+        while the compressed layout changes completely -- BDI's version
+        of the entropy-amplified size-change write.
+        """
+        simple = ("zeros", "rep8", "raw")
+        if new_variant in simple or old_variant in simple:
+            return self.make_bdi(new_variant)
+        spans = {"b8d1": 60, "b8d2": 15_000, "b8d4": 2**29}
+        guards = {"b8d1": None, "b8d2": 10_000, "b8d4": 2**20}
+        span = spans[new_variant]
+        words = np.frombuffer(data, dtype=np.uint64).copy()
+        base = words[0]
+        deltas = (words - base).view(np.int64)
+        misfits = (deltas < -span) | (deltas > span)
+        deltas[misfits] = self._rng.integers(-span, span + 1, size=int(misfits.sum()))
+        guard = guards[new_variant]
+        if guard is not None:
+            deltas[1] = guard
+        words = (base.astype(np.int64) + deltas).astype(np.uint64)
+        return words.tobytes()
+
+    def perturb_bdi(self, data: bytes, variant: str, turbulence: float) -> bytes:
+        """Re-draw some deltas within the variant's width; size preserved."""
+        if variant == "zeros":
+            return data
+        if variant == "rep8":
+            # Counter-like update: every word changes identically.
+            words = np.frombuffer(data, dtype=np.uint64).copy()
+            words += np.uint64(self._rng.integers(1, 16))
+            return words.tobytes()
+        if variant == "raw":
+            raw = bytearray(data)
+            k = max(1, round(turbulence * 64))
+            for index in self._rng.choice(64, size=min(k, 64), replace=False):
+                raw[index] = int(self._rng.integers(0, 256))
+            return bytes(raw)
+        words = np.frombuffer(data, dtype=np.uint64).copy()
+        base = words[0]
+        ranges = {"b8d1": 60, "b8d2": 15_000, "b8d4": 2**29}
+        span = ranges[variant]
+        k = max(1, round(turbulence * 6))
+        # Words 0 and 1 are pinned: 0 is the base, 1 guards the variant.
+        targets = 2 + self._rng.choice(6, size=min(k, 6), replace=False)
+        deltas = self._rng.integers(-span, span + 1, size=targets.size)
+        words[targets] = (base.astype(np.int64) + deltas).astype(np.uint64)
+        return words.tobytes()
+
+
+def _fpc_size_ladder() -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """(random-word counts, best-of compressed sizes), ascending and unique."""
+    best = BestOfCompressor()
+    model = PayloadModel(np.random.default_rng(0))
+    counts, sizes = [], []
+    for r in range(_WORDS + 1):
+        size = best.compress(model.make_fpc(r)).size_bytes
+        if size not in sizes:
+            counts.append(r)
+            sizes.append(size)
+    return tuple(counts), tuple(sizes)
+
+
+_FPC_COUNTS, _FPC_SIZES = _fpc_size_ladder()
+_BDI_SIZES = tuple(size for size, _ in _BDI_LADDER)
+_BDI_VARIANTS = tuple(variant for _, variant in _BDI_LADDER)
+
+
+@dataclass
+class _BlockState:
+    """Per-block generator state."""
+
+    style: str
+    ladder_index: int  # current rung on the style's size ladder
+    home_index: int  # the block's long-run "home" rung
+    data: bytes  # canonical (front-loaded) layout
+    lead_small: bool = False  # FPC-style lead word's current class
+    rotation: int = 0  # word offset of the emitted layout (Figure 1)
+
+
+class SyntheticWorkload:
+    """Write-back stream generator for one workload profile."""
+
+    def __init__(
+        self, profile: WorkloadProfile, n_lines: int, seed: int = 0
+    ) -> None:
+        if n_lines < 1:
+            raise ValueError("need at least one line")
+        self.profile = profile
+        self.n_lines = n_lines
+        self._rng = np.random.default_rng(seed)
+        self._payloads = PayloadModel(self._rng)
+        self._blocks: dict[int, _BlockState] = {}
+
+        # Zipf address distribution over a permuted address space so hot
+        # lines are scattered rather than clustered at low addresses.
+        ranks = np.arange(1, n_lines + 1, dtype=float)
+        probabilities = ranks ** (-profile.zipf_alpha)
+        probabilities /= probabilities.sum()
+        self._cumulative = np.cumsum(probabilities)
+        self._permutation = self._rng.permutation(n_lines)
+        self._address_buffer: list[int] = []
+
+        # Per-style home-size distributions: shape classes are snapped
+        # onto each style's achievable size ladder, then re-tilted so the
+        # mean compressed size matches the profile's CR *exactly* despite
+        # the snapping (Table III / Figure 3 reproduce by construction).
+        self._home_distributions: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        classes, _ = profile.size_class_distribution()
+        for style in (_STYLE_FPC, _STYLE_BDI):
+            ladder = np.asarray(self._ladder(style), dtype=float)
+            snapped = np.unique(
+                [ladder[int(np.argmin(np.abs(ladder - c)))] for c in classes]
+            )
+            target = min(
+                max(profile.mean_compressed_bytes, snapped.min()), snapped.max()
+            )
+            indices = np.searchsorted(ladder, snapped).astype(int)
+            self._home_distributions[style] = (
+                indices,
+                tilted_weights(snapped, target),
+            )
+
+    # -- public API ------------------------------------------------------
+
+    def next_write(self) -> WriteBack:
+        """Generate the next write-back in the stream."""
+        return self.write_to(self._next_address())
+
+    def write_to(self, line: int) -> WriteBack:
+        """Advance one specific line's content and return its write-back.
+
+        Lets callers with their own address streams (e.g. the LLC-filtered
+        :class:`repro.traces.accesses.CachedWorkload`) reuse the calibrated
+        per-line value model.
+        """
+        if not 0 <= line < self.n_lines:
+            raise IndexError(f"line {line} out of range [0, {self.n_lines})")
+        state = self._blocks.get(line)
+        if state is None:
+            state = self._new_block()
+            self._blocks[line] = state
+        else:
+            self._rewrite(state)
+        word_bytes = 4 if state.style == _STYLE_FPC else 8
+        return WriteBack(
+            line=line, data=roll_line(state.data, state.rotation, word_bytes)
+        )
+
+    def iter_writes(self, count: int) -> Iterator[WriteBack]:
+        """Yield ``count`` consecutive write-backs."""
+        for _ in range(count):
+            yield self.next_write()
+
+    def generate_trace(self, count: int) -> Trace:
+        """Materialize a trace of ``count`` write-backs."""
+        trace = Trace(workload=self.profile.name, n_lines=self.n_lines)
+        trace.extend(self.iter_writes(count))
+        return trace
+
+    # -- internals ---------------------------------------------------------
+
+    def _next_address(self) -> int:
+        if not self._address_buffer:
+            draws = np.searchsorted(self._cumulative, self._rng.random(4096))
+            draws = np.minimum(draws, self.n_lines - 1)  # guard fp rounding
+            self._address_buffer = self._permutation[draws].tolist()
+        return self._address_buffer.pop()
+
+    def _ladder(self, style: str) -> tuple[int, ...]:
+        return _FPC_SIZES if style == _STYLE_FPC else _BDI_SIZES
+
+    def _new_block(self) -> _BlockState:
+        style = (
+            _STYLE_BDI
+            if self._rng.random() < self.profile.bdi_fraction
+            else _STYLE_FPC
+        )
+        home = self._draw_home(style)
+        state = _BlockState(style=style, ladder_index=home, home_index=home, data=b"")
+        state.data = self._construct(state)
+        return state
+
+    def _draw_home(self, style: str) -> int:
+        indices, weights = self._home_distributions[style]
+        return int(self._rng.choice(indices, p=weights))
+
+    def _construct(self, state: _BlockState) -> bytes:
+        if state.style == _STYLE_FPC:
+            return self._payloads.make_fpc(
+                _FPC_COUNTS[state.ladder_index], state.lead_small
+            )
+        return self._payloads.make_bdi(_BDI_VARIANTS[state.ladder_index])
+
+    def _rewrite(self, state: _BlockState) -> None:
+        if self._rng.random() >= self.profile.size_change_prob:
+            state.data = self._perturb(state)
+            return
+        if state.style == _STYLE_FPC:
+            self._resize_fpc_block(state)
+        else:
+            self._resize_bdi_block(state)
+
+    def _resize_fpc_block(self, state: _BlockState) -> None:
+        old_words = _FPC_COUNTS[state.ladder_index]
+        if self._rng.random() < self.profile.jump_prob:
+            # Large swing: new word count from the home distribution,
+            # keeping surviving words (small raw delta, realigned and
+            # resized compressed stream).
+            state.ladder_index = self._draw_home(_STYLE_FPC)
+            state.lead_small = not state.lead_small  # stream realigns
+            state.data = self._payloads.resize_fpc(
+                state.data, old_words, _FPC_COUNTS[state.ladder_index],
+                state.lead_small,
+            )
+            # A quarter of large content changes also relocate the data
+            # within the line, scattering raw-domain wear over time
+            # (Figure 1).  The rest keep the layout in place: those are
+            # the writes whose raw delta stays small while the
+            # compressed stream realigns and resizes -- the
+            # flip-increase events of Figure 5 that the Figure 8
+            # heuristic exists to catch.
+            if self._rng.random() < 0.25:
+                state.rotation = int(self._rng.integers(0, _WORDS))
+        elif old_words > 0:
+            # Small drift: toggle the lead word's FPC class.  The size
+            # moves by 2 bytes and the whole downstream bitstream
+            # realigns -- lots of compressed flips from a one-word edit.
+            state.lead_small = not state.lead_small
+            state.data = self._payloads.toggle_fpc_lead(state.data, state.lead_small)
+
+    def _resize_bdi_block(self, state: _BlockState) -> None:
+        ladder = self._ladder(_STYLE_BDI)
+        if self._rng.random() < self.profile.jump_prob:
+            new_index = self._draw_home(_STYLE_BDI)
+            if self._rng.random() < 0.25:
+                state.rotation = int(self._rng.integers(0, 8))
+            if new_index != state.ladder_index:
+                state.data = self._payloads.resize_bdi(
+                    state.data,
+                    _BDI_VARIANTS[state.ladder_index],
+                    _BDI_VARIANTS[new_index],
+                )
+                state.ladder_index = new_index
+            return
+        elif state.ladder_index != state.home_index:
+            # Small drift: bounce back to the home variant.
+            new_index = state.home_index
+        else:
+            # Small drift: move to the nearest-size neighbouring variant
+            # (base+delta data widening or narrowing its deltas).  The
+            # BDI ladder is coarse at the top; a "drift" spanning more
+            # than 8 bytes is not small, so those rungs simply hold
+            # still (their size changes come from jumps).
+            home = state.home_index
+            neighbors = [
+                index for index in (home - 1, home + 1) if 0 <= index < len(ladder)
+            ]
+            new_index = min(
+                neighbors, key=lambda index: abs(ladder[index] - ladder[home])
+            )
+            if abs(ladder[new_index] - ladder[home]) > 8:
+                new_index = state.home_index
+        if new_index == state.ladder_index:
+            return
+        state.ladder_index = new_index
+        state.data = self._construct(state)
+
+    def _perturb(self, state: _BlockState) -> bytes:
+        if state.style == _STYLE_FPC:
+            return self._payloads.perturb_fpc(
+                state.data, _FPC_COUNTS[state.ladder_index], self.profile.turbulence
+            )
+        return self._payloads.perturb_bdi(
+            state.data, _BDI_VARIANTS[state.ladder_index], self.profile.turbulence
+        )

@@ -1,0 +1,70 @@
+"""Write-back trace containers.
+
+The paper feeds gem5-collected memory write-back traces to a
+lightweight lifetime simulator (Section IV).  Our traces carry the same
+information: an ordered stream of (logical line, 64-byte payload)
+records, plus enough workload metadata to convert write counts into
+wall-clock time (WPKI, core count, clock).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class WriteBack:
+    """One last-level-cache eviction reaching the PCM controller."""
+
+    line: int
+    data: bytes
+
+    def __post_init__(self) -> None:
+        if self.line < 0:
+            raise ValueError("line index cannot be negative")
+        if len(self.data) != 64:
+            raise ValueError(f"payload must be 64 bytes, got {len(self.data)}")
+
+
+@dataclass
+class Trace:
+    """An ordered write-back stream with workload metadata."""
+
+    workload: str
+    n_lines: int
+    writes: list[WriteBack] = field(default_factory=list)
+
+    def append(self, write: WriteBack) -> None:
+        """Append one write-back (validates the line index)."""
+        if write.line >= self.n_lines:
+            raise ValueError(
+                f"line {write.line} outside the trace's {self.n_lines}-line "
+                "address space"
+            )
+        self.writes.append(write)
+
+    def extend(self, writes: Iterable[WriteBack]) -> None:
+        """Append several write-backs."""
+        for write in writes:
+            self.append(write)
+
+    def __len__(self) -> int:
+        return len(self.writes)
+
+    def __iter__(self) -> Iterator[WriteBack]:
+        return iter(self.writes)
+
+    def __getitem__(self, index: int) -> WriteBack:
+        return self.writes[index]
+
+    def lines_touched(self) -> set[int]:
+        """Set of line indices the trace writes."""
+        return {write.line for write in self.writes}
+
+    def writes_per_line(self) -> dict[int, int]:
+        """Write count per line index."""
+        counts: dict[int, int] = {}
+        for write in self.writes:
+            counts[write.line] = counts.get(write.line, 0) + 1
+        return counts

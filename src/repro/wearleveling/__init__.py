@@ -1,0 +1,7 @@
+"""Wear-leveling: Start-Gap (inter-line) and rotation (intra-line)."""
+
+from .intra_line import IntraLineWearLeveler
+from .region_start_gap import RegionStartGap
+from .start_gap import GapMovement, StartGap
+
+__all__ = ["GapMovement", "IntraLineWearLeveler", "RegionStartGap", "StartGap"]

@@ -1,0 +1,102 @@
+"""Region-based Start-Gap (Qureshi et al., MICRO 2009, Section 4).
+
+Plain Start-Gap needs a full gap rotation before hot lines escape a
+region of the physical array; for large memories the original paper
+divides the array into regions, each with its own gap and start
+registers, so data movement stays local and the registers stay small.
+Each region counts only its *own* writes toward the psi threshold,
+which also makes the movement rate track per-region write pressure.
+
+Exposes the same interface as :class:`repro.wearleveling.StartGap`
+(``map`` / ``logical_of`` / ``on_write`` / ``physical_lines``), so the
+controller swaps it in via the ``start_gap_regions`` config knob.
+Physical layout: region ``r``'s slots (including its spare) occupy the
+contiguous range ``[r * (lines_per_region + 1), ...)``.
+"""
+
+from __future__ import annotations
+
+from .start_gap import GapMovement, StartGap
+
+
+class RegionStartGap:
+    """Independent Start-Gap instances over fixed line regions."""
+
+    def __init__(self, n_lines: int, psi: int = 100, regions: int = 4) -> None:
+        if regions < 1:
+            raise ValueError("need at least one region")
+        if n_lines < regions:
+            raise ValueError("need at least one line per region")
+        self.n_lines = n_lines
+        self.regions = regions
+        base = n_lines // regions
+        remainder = n_lines % regions
+        self._sizes = [base + (index < remainder) for index in range(regions)]
+        self._gaps = [StartGap(size, psi=psi) for size in self._sizes]
+        self._logical_bases = []
+        self._physical_bases = []
+        logical = physical = 0
+        for size in self._sizes:
+            self._logical_bases.append(logical)
+            self._physical_bases.append(physical)
+            logical += size
+            physical += size + 1  # each region carries its own spare
+
+    @property
+    def physical_lines(self) -> int:
+        """Physical slots backing the array (incl. spares)."""
+        return self.n_lines + self.regions
+
+    @property
+    def gap_moves(self) -> int:
+        """Total gap movements performed so far."""
+        return sum(gap.gap_moves for gap in self._gaps)
+
+    def _region_of_logical(self, logical: int) -> int:
+        if not 0 <= logical < self.n_lines:
+            raise IndexError(
+                f"logical line {logical} out of range [0, {self.n_lines})"
+            )
+        for index in range(self.regions):
+            base = self._logical_bases[index]
+            if logical < base + self._sizes[index]:
+                return index
+        raise AssertionError("unreachable")
+
+    def _region_of_physical(self, physical: int) -> int:
+        if not 0 <= physical < self.physical_lines:
+            raise IndexError(
+                f"physical slot {physical} out of range [0, {self.physical_lines})"
+            )
+        for index in range(self.regions):
+            base = self._physical_bases[index]
+            if physical < base + self._sizes[index] + 1:
+                return index
+        raise AssertionError("unreachable")
+
+    def map(self, logical: int) -> int:
+        """Current physical slot of a logical line."""
+        region = self._region_of_logical(logical)
+        inner = logical - self._logical_bases[region]
+        return self._physical_bases[region] + self._gaps[region].map(inner)
+
+    def logical_of(self, physical: int) -> int | None:
+        """Inverse mapping; None for a gap slot."""
+        region = self._region_of_physical(physical)
+        inner = physical - self._physical_bases[region]
+        result = self._gaps[region].logical_of(inner)
+        if result is None:
+            return None
+        return self._logical_bases[region] + result
+
+    def on_write(self, logical: int) -> GapMovement | None:
+        """Account one write to ``logical``'s region."""
+        region = self._region_of_logical(logical)
+        movement = self._gaps[region].on_write()
+        if movement is None:
+            return None
+        base = self._physical_bases[region]
+        return GapMovement(
+            source=base + movement.source,
+            destination=base + movement.destination,
+        )

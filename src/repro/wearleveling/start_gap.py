@@ -1,0 +1,115 @@
+"""Start-Gap inter-line wear-leveling (Qureshi et al., MICRO 2009, [7]).
+
+Start-Gap adds one spare ("gap") line to the array and two registers:
+
+* ``gap`` -- the physical index of the spare line;
+* ``start`` -- how many full gap rotations have completed.
+
+Every ``psi`` writes the gap moves down by one slot: the content of the
+physical line just above the gap is copied into the gap, and the gap
+takes its place.  Once the gap has walked the whole array, ``start``
+advances, which shifts the logical-to-physical mapping by one.  Over
+time every logical line visits every physical slot, spreading write-hot
+lines across the array at a cost of one extra write per ``psi`` writes.
+
+Mapping (the original paper's formulation, N logical lines, N+1
+physical slots)::
+
+    physical = (logical + start) mod N
+    if physical >= gap:  physical += 1
+
+The lifetime simulator performs the data movement the
+:class:`GapMovement` describes; Start-Gap itself only does bookkeeping.
+This is also the hook where the paper's Comp+WF design re-checks dead
+blocks for revival (Section III-A.3): a remap is the one moment a new
+payload lands in an old physical line without an extra scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GapMovement:
+    """One gap move: copy physical ``source`` into ``destination``.
+
+    ``destination`` is always the old gap slot; after the copy the
+    ``source`` slot becomes the new gap.  The wrap move (source = last
+    slot, destination = 0) is an ordinary copy -- it completes one full
+    rotation of the gap, at which point the start register advances.
+    """
+
+    source: int
+    destination: int
+
+
+class StartGap:
+    """Start-Gap remapper over ``n_lines`` logical lines."""
+
+    def __init__(self, n_lines: int, psi: int = 100) -> None:
+        if n_lines < 1:
+            raise ValueError("need at least one logical line")
+        if psi < 1:
+            raise ValueError("psi (writes per gap move) must be positive")
+        self.n_lines = n_lines
+        self.psi = psi
+        self.start = 0
+        self.gap = n_lines  # the spare physical slot, initially last
+        self.write_count = 0
+        self.gap_moves = 0
+
+    @property
+    def physical_lines(self) -> int:
+        """Physical slots backing the array (one spare)."""
+        return self.n_lines + 1
+
+    def map(self, logical: int) -> int:
+        """Current physical slot of a logical line."""
+        if not 0 <= logical < self.n_lines:
+            raise IndexError(
+                f"logical line {logical} out of range [0, {self.n_lines})"
+            )
+        physical = (logical + self.start) % self.n_lines
+        if physical >= self.gap:
+            physical += 1
+        return physical
+
+    def logical_of(self, physical: int) -> int | None:
+        """Inverse mapping; None for the gap slot itself."""
+        if not 0 <= physical < self.physical_lines:
+            raise IndexError(
+                f"physical slot {physical} out of range [0, {self.physical_lines})"
+            )
+        if physical == self.gap:
+            return None
+        adjusted = physical - 1 if physical > self.gap else physical
+        return (adjusted - self.start) % self.n_lines
+
+    def on_write(self, logical: int | None = None) -> GapMovement | None:
+        """Account one demand write; every ``psi``-th returns a gap move.
+
+        The caller must copy ``source`` into ``destination`` before
+        issuing further writes (the simulator charges this copy as a
+        real write to the destination line).  ``logical`` is accepted
+        for interface parity with :class:`RegionStartGap` and ignored.
+        """
+        del logical
+        self.write_count += 1
+        if self.write_count % self.psi != 0:
+            return None
+        return self._move_gap()
+
+    def _move_gap(self) -> GapMovement:
+        self.gap_moves += 1
+        if self.gap == 0:
+            # Cyclic wrap: the last physical slot's line moves into the
+            # gap at slot 0, the gap jumps to the top, and the mapping
+            # shifts by one -- the gap has completed one full rotation.
+            movement = GapMovement(source=self.n_lines, destination=0)
+            self.gap = self.n_lines
+            self.start = (self.start + 1) % self.n_lines
+            return movement
+        movement = GapMovement(source=self.gap - 1, destination=self.gap)
+        self.gap -= 1
+        return movement

@@ -1,0 +1,68 @@
+"""Unit tests for ASCII chart rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import bar_chart, cdf_plot, sparkline, wear_imbalance, wear_map
+
+
+def test_sparkline_length_and_extremes():
+    line = sparkline([0, 1, 2, 3, 100], width=5)
+    assert len(line) == 5
+    assert line[-1] == "@"
+    assert line[0] == " "
+
+
+def test_sparkline_empty():
+    assert sparkline([]) == ""
+
+
+def test_bar_chart_scales_to_max():
+    chart = bar_chart({"a": 1.0, "b": 2.0}, width=10)
+    lines = chart.splitlines()
+    assert lines[0].startswith("a |#####")
+    assert "##########" in lines[1]
+    assert "2.00" in lines[1]
+
+
+def test_bar_chart_empty():
+    assert bar_chart({}) == ""
+
+
+def test_cdf_plot_contains_staircase():
+    values = np.array([1.0, 2.0, 4.0, 8.0])
+    cumulative = np.array([0.25, 0.5, 0.75, 1.0])
+    plot = cdf_plot(values, cumulative, width=20, height=6)
+    assert plot.count("*") >= 3
+    assert plot.splitlines()[0].startswith("1.0")
+
+
+def test_wear_map_single_line():
+    counts = np.zeros(512)
+    counts[:64] = 50  # first 8 bytes hot
+    rendered = wear_map(counts, label="demo")
+    lines = rendered.splitlines()
+    assert lines[0] == "demo"
+    assert len(lines) == 1 + 8 + 1  # label + 8 rows + legend
+    assert "@" in lines[1]
+    assert "@" not in lines[5]
+
+
+def test_wear_map_matrix_averages_blocks():
+    counts = np.zeros((4, 512))
+    counts[:, 0] = 100
+    rendered = wear_map(counts)
+    assert "@" in rendered.splitlines()[0]
+
+
+def test_wear_map_shape_validation():
+    with pytest.raises(ValueError):
+        wear_map(np.zeros(100), cells_per_row=64)
+
+
+def test_wear_imbalance():
+    assert wear_imbalance(np.ones(512)) == pytest.approx(0.0)
+    assert wear_imbalance(np.zeros(512)) == 0.0
+    skewed = np.zeros(512)
+    skewed[:8] = 100
+    assert wear_imbalance(skewed) > 3

@@ -1,0 +1,92 @@
+"""Unit tests for Figures 3/6/7/11 analyses."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    cdf_fraction_below,
+    fig3_compressed_sizes,
+    fig6_size_change_probability,
+    fig7_size_trajectories,
+    fig11_max_size_cdf,
+)
+from repro.traces import get_profile
+
+
+def test_fig3_best_never_worse_than_members():
+    row = fig3_compressed_sizes(get_profile("gcc"), writes=800, seed=0)
+    assert row.best <= row.bdi
+    assert row.best <= row.fpc
+    assert row.best_ratio == pytest.approx(row.best / 64)
+
+
+def test_fig3_matches_table3_cr():
+    for name in ("milc", "lbm", "zeusmp"):
+        profile = get_profile(name)
+        row = fig3_compressed_sizes(profile, writes=2000, seed=1)
+        assert row.best_ratio == pytest.approx(profile.cr, abs=0.09), name
+
+
+def test_fig6_ordering():
+    volatile = fig6_size_change_probability(get_profile("gcc"), writes=3000)
+    stable = fig6_size_change_probability(get_profile("hmmer"), writes=3000)
+    assert volatile > stable
+
+
+def test_fig7_trajectories():
+    trajectories = fig7_size_trajectories(
+        get_profile("bzip2"), n_blocks=3, writes=4000, seed=0
+    )
+    assert len(trajectories) == 3
+    lengths = [len(series) for series in trajectories.values()]
+    assert min(lengths) > 10
+    # bzip2 blocks swing widely (Figure 7a).
+    spreads = [max(series) - min(series) for series in trajectories.values()]
+    assert max(spreads) > 16
+
+
+def test_fig7_hmmer_is_stable():
+    trajectories = fig7_size_trajectories(
+        get_profile("hmmer"), n_blocks=3, writes=4000, seed=0
+    )
+    # Figure 7b: hmmer block sizes wiggle within a narrow band.  Use the
+    # p5-p95 band so a handful of rare jumps over a long horizon do not
+    # dominate (matches the Figure 7 benchmark's metric).
+    bands = [
+        np.percentile(series, 95) - np.percentile(series, 5)
+        for series in trajectories.values()
+    ]
+    bzip2 = fig7_size_trajectories(
+        get_profile("bzip2"), n_blocks=3, writes=4000, seed=0
+    )
+    bzip2_bands = [
+        np.percentile(series, 95) - np.percentile(series, 5)
+        for series in bzip2.values()
+    ]
+    assert np.median(bands) < np.median(bzip2_bands)
+
+
+def test_fig11_milc_is_bottom_heavy():
+    values, cumulative = fig11_max_size_cdf(
+        get_profile("milc"), n_lines=128, writes=4000, seed=0
+    )
+    below_25 = cdf_fraction_below(values, cumulative, 25)
+    # Paper: ~80% of milc addresses stay under 25 bytes.
+    assert below_25 > 0.5
+
+
+def test_fig11_gcc_is_spread_out():
+    values, cumulative = fig11_max_size_cdf(
+        get_profile("gcc"), n_lines=128, writes=4000, seed=0
+    )
+    below_25 = cdf_fraction_below(values, cumulative, 25)
+    # Paper: only ~10% of gcc addresses stay under 25 bytes.
+    assert below_25 < 0.35
+
+
+def test_cdf_fraction_below_edges():
+    values = np.array([8, 16, 64])
+    cumulative = np.array([0.25, 0.5, 1.0])
+    assert cdf_fraction_below(values, cumulative, 5) == 0.0
+    assert cdf_fraction_below(values, cumulative, 20) == 0.5
+    assert cdf_fraction_below(values, cumulative, 100) == 1.0

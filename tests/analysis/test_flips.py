@@ -1,0 +1,53 @@
+"""Unit tests for Figure 1 / Figure 5 analyses."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    classify_flip_impact,
+    hot_block_flip_series,
+)
+from repro.traces import get_profile
+
+
+def test_fig1_series_shape():
+    series = hot_block_flip_series(
+        get_profile("gobmk"), n_lines=32, writes=3000, seed=0
+    )
+    assert len(series) > 20  # the hot block is written many times
+    assert all(0 <= flips <= 512 for flips in series)
+
+
+def test_fig1_flips_are_scattered():
+    # Figure 1's point: per-write flip counts vary wildly under DW.
+    series = hot_block_flip_series(
+        get_profile("gobmk"), n_lines=32, writes=3000, seed=0
+    )
+    steady = series[1:]  # skip the cold-start full write
+    assert np.std(steady) > 5
+    assert max(steady) > 2 * max(1, min(steady))
+
+
+def test_fig5_fractions_sum_to_one():
+    result = classify_flip_impact(get_profile("milc"), n_lines=32, writes=1500)
+    assert result.increased + result.untouched + result.decreased == pytest.approx(1.0)
+    assert result.samples > 100
+
+
+def test_fig5_compressible_apps_mostly_decrease():
+    result = classify_flip_impact(
+        get_profile("sjeng"), n_lines=32, writes=2000, seed=1
+    )
+    assert result.decreased > result.increased
+
+
+def test_fig5_volatile_apps_mostly_increase():
+    result = classify_flip_impact(
+        get_profile("bzip2"), n_lines=32, writes=2000, seed=1
+    )
+    assert result.increased > 0.3
+
+
+def test_fig5_empty_stream():
+    result = classify_flip_impact(get_profile("milc"), n_lines=32, writes=0)
+    assert result.samples == 0

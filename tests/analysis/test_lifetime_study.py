@@ -1,0 +1,62 @@
+"""Unit tests for the lifetime-study wrappers."""
+
+import pytest
+
+from repro.analysis import (
+    geometric_mean_normalized,
+    high_variation_study,
+    run_full_study,
+    run_workload_study,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_study():
+    return run_workload_study(
+        "milc", systems=("baseline", "comp_wf"),
+        n_lines=32, endurance_mean=15, seed=0, max_writes=600_000,
+    )
+
+
+def test_study_normalizes_against_baseline(tiny_study):
+    assert tiny_study.normalized["baseline"] == pytest.approx(1.0)
+    assert tiny_study.normalized["comp_wf"] > 1.0
+
+
+def test_study_months(tiny_study):
+    base = tiny_study.months("baseline")
+    wf = tiny_study.months("comp_wf")
+    assert base > 0
+    assert wf / base == pytest.approx(tiny_study.normalized["comp_wf"], rel=1e-6)
+
+
+def test_study_tolerated_faults(tiny_study):
+    assert tiny_study.tolerated_faults("comp_wf") > tiny_study.tolerated_faults(
+        "baseline"
+    ) * 0.9
+
+
+def test_unfinished_runs_raise():
+    with pytest.raises(RuntimeError, match="failure criterion"):
+        run_workload_study(
+            "milc", systems=("baseline",), n_lines=32,
+            endurance_mean=1000, seed=0, max_writes=200,
+        )
+
+
+def test_full_study_and_mean():
+    studies = run_full_study(
+        workloads=("milc", "zeusmp"), systems=("baseline", "comp_wf"),
+        n_lines=32, endurance_mean=12, seed=0, max_writes=800_000,
+    )
+    assert set(studies) == {"milc", "zeusmp"}
+    mean = geometric_mean_normalized(studies, "comp_wf")
+    assert mean > 1.0
+
+
+def test_high_variation_study_uses_cov_025():
+    studies = high_variation_study(
+        workloads=("milc",), n_lines=32, endurance_mean=12, seed=0,
+        max_writes=800_000,
+    )
+    assert studies["milc"].normalized["comp_wf"] > 0.8

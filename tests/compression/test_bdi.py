@@ -1,0 +1,159 @@
+"""Unit tests for the BDI compressor."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import LINE_SIZE_BYTES, BDICompressor, CompressionError
+from repro.compression.bdi import ENC_REP8, ENC_UNCOMPRESSED, ENC_ZEROS
+
+
+@pytest.fixture(scope="module")
+def bdi():
+    return BDICompressor()
+
+
+def pack64(values, width):
+    fmt = {1: "b", 2: "h", 4: "i", 8: "q"}[width]
+    return struct.pack(f"<{len(values)}{fmt}", *values)
+
+
+def test_zero_line_compresses_to_one_byte(bdi):
+    result = bdi.compress(bytes(64))
+    assert result.encoding == ENC_ZEROS
+    assert result.size_bytes == 1
+    assert bdi.decompress(result) == bytes(64)
+
+
+def test_repeated_value_compresses_to_eight_bytes(bdi):
+    line = struct.pack("<q", 0xDEADBEEF) * 8
+    result = bdi.compress(line)
+    assert result.encoding == ENC_REP8
+    assert result.size_bytes == 8
+    assert bdi.decompress(result) == line
+
+
+def test_base8_delta1_size(bdi):
+    base = 1 << 40
+    line = pack64([base + d for d in range(8)], 8)
+    result = bdi.compress(line)
+    assert result.size_bytes == 16
+    assert bdi.decompress(result) == line
+
+
+def test_base8_delta2_size(bdi):
+    base = 1 << 40
+    line = pack64([base + 300 * d for d in range(8)], 8)
+    result = bdi.compress(line)
+    assert result.size_bytes == 24
+    assert bdi.decompress(result) == line
+
+
+def test_base8_delta4_size(bdi):
+    base = 1 << 40
+    line = pack64([base + 100_000 * d for d in range(8)], 8)
+    result = bdi.compress(line)
+    assert result.size_bytes == 40
+    assert bdi.decompress(result) == line
+
+
+def test_base4_delta1_size(bdi):
+    # 16 4-byte words near a large 4-byte base, alternating so no 8-byte
+    # variant with a narrower delta wins.
+    words = [0x40000000 + (7 * i) % 100 for i in range(16)]
+    line = pack64(words, 4)
+    result = bdi.compress(line)
+    assert result.size_bytes == 20
+    assert bdi.decompress(result) == line
+
+
+def test_base2_delta1_size(bdi):
+    words = [0x4000 + ((13 * i) % 64) for i in range(32)]
+    line = pack64(words, 2)
+    result = bdi.compress(line)
+    # b4d1 (20 B) cannot apply: adjacent 2-byte words merge into 4-byte
+    # words whose mutual deltas exceed one signed byte.
+    assert result.size_bytes == 34
+    assert bdi.decompress(result) == line
+
+
+def test_incompressible_line_falls_back_to_uncompressed(bdi):
+    import random
+
+    rng = random.Random(7)
+    line = bytes(rng.randrange(256) for _ in range(64))
+    result = bdi.compress(line)
+    assert result.encoding == ENC_UNCOMPRESSED
+    assert result.size_bytes == 64
+    assert bdi.decompress(result) == line
+
+
+def test_negative_deltas_round_trip(bdi):
+    base = 1 << 32
+    line = pack64([base, base - 1, base - 100, base + 5, base, base, base - 7, base], 8)
+    result = bdi.compress(line)
+    assert result.size_bytes == 16
+    assert bdi.decompress(result) == line
+
+
+def test_wrong_input_length_raises(bdi):
+    with pytest.raises(CompressionError):
+        bdi.compress(b"\x00" * 63)
+
+
+def test_decompress_rejects_foreign_result(bdi):
+    from repro.compression import FPCCompressor
+
+    fpc_result = FPCCompressor().compress(bytes(64))
+    with pytest.raises(CompressionError):
+        bdi.decompress(fpc_result)
+
+
+def test_decompress_rejects_bad_payload_length(bdi):
+    result = bdi.compress(bytes(64))
+    bad = type(result)(result.algorithm, ENC_REP8, 64, b"\x00" * 3)
+    with pytest.raises(CompressionError):
+        bdi.decompress(bad)
+
+
+def test_variant_size_table(bdi):
+    sizes = BDICompressor.variant_sizes()
+    assert sizes == {
+        "b8d1": 16,
+        "b4d1": 20,
+        "b8d2": 24,
+        "b2d1": 34,
+        "b4d2": 36,
+        "b8d4": 40,
+    }
+
+
+def test_sizes_match_table1_bounds(bdi):
+    # Table I: BDI output spans 1..40 bytes for compressible lines.
+    assert min(BDICompressor.variant_sizes().values()) > 1
+    assert max(BDICompressor.variant_sizes().values()) == 40
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.binary(min_size=LINE_SIZE_BYTES, max_size=LINE_SIZE_BYTES))
+def test_roundtrip_random_lines(data):
+    bdi = BDICompressor()
+    result = bdi.compress(data)
+    assert bdi.decompress(result) == data
+    assert 1 <= result.size_bytes <= LINE_SIZE_BYTES
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.integers(min_value=2**10, max_value=2**63),
+    st.lists(st.integers(min_value=-128, max_value=127), min_size=8, max_size=8),
+)
+def test_roundtrip_narrow_delta_lines(base, deltas):
+    bdi = BDICompressor()
+    words = [base + delta for delta in deltas]
+    line = b"".join(word.to_bytes(8, "little") for word in words)
+    result = bdi.compress(line)
+    assert bdi.decompress(result) == line
+    assert result.size_bytes <= 40

@@ -1,0 +1,109 @@
+"""Unit tests for the best-of-N compression policy."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import (
+    LINE_SIZE_BYTES,
+    BDICompressor,
+    BestOfCompressor,
+    CompressionError,
+    FPCCompressor,
+)
+
+
+@pytest.fixture(scope="module")
+def best():
+    return BestOfCompressor()
+
+
+def test_default_members_are_bdi_then_fpc(best):
+    assert [member.name for member in best.members] == ["bdi", "fpc"]
+
+
+def test_picks_smaller_of_the_two(best):
+    # A line of tiny 4-byte words: FPC gets ~7 bits/word (14 B), while
+    # BDI's best fit is b4d1 (20 B).
+    line = struct.pack("<16i", *[(i % 8) for i in range(16)])
+    result = best.compress(line)
+    per_member = best.compress_all(line)
+    assert result.size_bits == min(r.size_bits for r in per_member.values())
+    assert result.algorithm == "fpc"
+
+
+def test_bdi_wins_on_wide_base_narrow_delta(best):
+    base = 1 << 40
+    line = struct.pack("<8q", *[base + i for i in range(8)])
+    result = best.compress(line)
+    assert result.algorithm == "bdi"
+    assert result.size_bytes == 16
+
+
+def test_decompress_dispatches_to_winner(best):
+    for line in (
+        bytes(64),
+        struct.pack("<8q", *[(1 << 40) + i for i in range(8)]),
+        struct.pack("<16i", *range(16)),
+        bytes(range(64)),
+    ):
+        assert best.decompress(best.compress(line)) == line
+
+
+def test_decompression_latency_tracks_member(best):
+    bdi_line = struct.pack("<8q", *[(1 << 40) + i for i in range(8)])
+    fpc_line = struct.pack("<16i", *[(i % 8) for i in range(16)])
+    assert best.decompression_latency(best.compress(bdi_line)) == 1
+    assert best.decompression_latency(best.compress(fpc_line)) == 5
+
+
+def test_metadata_roundtrip(best):
+    for line in (bytes(64), bytes(range(64)), struct.pack("<16i", *range(16))):
+        result = best.compress(line)
+        metadata = best.encode_metadata(result)
+        assert 0 <= metadata < 32
+        member, encoding = best.decode_metadata(metadata)
+        assert member.name == result.algorithm
+        assert encoding == result.encoding
+
+
+def test_metadata_out_of_range_rejected(best):
+    with pytest.raises(CompressionError):
+        best.decode_metadata(32)
+    with pytest.raises(CompressionError):
+        best.decode_metadata(-1)
+
+
+def test_foreign_result_rejected(best):
+    result = BDICompressor().compress(bytes(64))
+    renamed = type(result)("zstd", result.encoding, result.size_bits, result.payload)
+    with pytest.raises(CompressionError):
+        best.decompress(renamed)
+
+
+def test_requires_members():
+    with pytest.raises(ValueError):
+        BestOfCompressor(())
+
+
+def test_duplicate_member_names_rejected():
+    with pytest.raises(ValueError):
+        BestOfCompressor((BDICompressor(), BDICompressor()))
+
+
+def test_single_member_still_works():
+    solo = BestOfCompressor((FPCCompressor(),))
+    line = bytes(range(64))
+    assert solo.decompress(solo.compress(line)) == line
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.binary(min_size=LINE_SIZE_BYTES, max_size=LINE_SIZE_BYTES))
+def test_best_never_worse_than_members(data):
+    best = BestOfCompressor()
+    chosen = best.compress(data)
+    for result in best.compress_all(data).values():
+        assert chosen.size_bits <= result.size_bits
+    assert best.decompress(chosen) == data

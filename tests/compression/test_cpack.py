@@ -1,0 +1,122 @@
+"""Unit tests for the C-Pack compressor."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import CompressionError, LINE_SIZE_BYTES
+from repro.compression.cpack import CPackCompressor
+
+
+@pytest.fixture(scope="module")
+def cpack():
+    return CPackCompressor()
+
+
+def pack_words(words):
+    return struct.pack("<16I", *[w & 0xFFFFFFFF for w in words])
+
+
+def test_zero_line_is_two_bits_per_word(cpack):
+    result = cpack.compress(bytes(64))
+    assert result.size_bits == 16 * 2
+    assert cpack.decompress(result) == bytes(64)
+
+
+def test_repeated_word_hits_dictionary(cpack):
+    line = pack_words([0xDEADBEEF] * 16)
+    result = cpack.compress(line)
+    # First word verbatim (34 bits), the other 15 full matches (6 bits).
+    assert result.size_bits == 34 + 15 * 6
+    assert cpack.decompress(result) == line
+
+
+def test_low_byte_words_use_zzzx(cpack):
+    line = pack_words([0x7F] * 16)
+    result = cpack.compress(line)
+    assert result.size_bits == 16 * 12
+    assert cpack.decompress(result) == line
+
+
+def test_prefix_matches(cpack):
+    # Same upper 3 bytes, differing low byte: first verbatim, rest mmmx.
+    line = pack_words([0x12345600 | i for i in range(16)])
+    result = cpack.compress(line)
+    assert result.size_bits == 34 + 15 * 16
+    assert cpack.decompress(result) == line
+
+
+def test_upper_half_matches(cpack):
+    # Same upper 2 bytes, random lower halves (no 3-byte prefix match).
+    line = pack_words([0x43210000 | (0x1111 * (i + 1)) for i in range(15)] + [0])
+    result = cpack.compress(line)
+    assert cpack.decompress(result) == line
+    assert result.size_bits < 16 * 34  # beats all-verbatim
+
+
+def test_incompressible_words(cpack):
+    line = pack_words([0x9E3779B9 * (i + 1) & 0xFFFFFFFF for i in range(16)])
+    result = cpack.compress(line)
+    assert cpack.decompress(result) == line
+
+
+def test_dictionary_fifo_eviction_roundtrip(cpack):
+    # More than 16 distinct words forces FIFO evictions; decompression
+    # must replay them identically.
+    words = [0x01010000 + 0x10101 * i for i in range(16)]
+    line = pack_words(words[:8] + words[:8])
+    assert cpack.decompress(cpack.compress(line)) == line
+
+
+def test_truncated_payload(cpack):
+    result = cpack.compress(pack_words(range(16)))
+    bad = type(result)(result.algorithm, result.encoding, result.size_bits, b"\x01")
+    with pytest.raises(CompressionError):
+        cpack.decompress(bad)
+
+
+def test_wrong_length(cpack):
+    with pytest.raises(CompressionError):
+        cpack.compress(bytes(60))
+
+
+def test_works_in_best_of():
+    from repro.compression import BDICompressor, BestOfCompressor, FPCCompressor
+
+    best = BestOfCompressor((BDICompressor(), FPCCompressor(), CPackCompressor()))
+    for line in (bytes(64), pack_words([0xAA] * 16), pack_words(range(16))):
+        result = best.compress(line)
+        assert best.decompress(result) == line
+        metadata = best.encode_metadata(result)
+        member, encoding = best.decode_metadata(metadata)
+        assert member.name == result.algorithm
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.binary(min_size=LINE_SIZE_BYTES, max_size=LINE_SIZE_BYTES))
+def test_roundtrip_random(data):
+    cpack = CPackCompressor()
+    result = cpack.compress(data)
+    assert cpack.decompress(result) == data
+    assert result.size_bits <= 16 * 34
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        st.one_of(
+            st.just(0),
+            st.integers(min_value=0, max_value=255),
+            st.integers(min_value=0, max_value=2**32 - 1),
+            st.just(0x12345678),
+        ),
+        min_size=16,
+        max_size=16,
+    )
+)
+def test_roundtrip_patterned(words):
+    cpack = CPackCompressor()
+    line = pack_words(words)
+    assert cpack.decompress(cpack.compress(line)) == line

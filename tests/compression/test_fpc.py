@@ -1,0 +1,134 @@
+"""Unit tests for the FPC compressor."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import LINE_SIZE_BYTES, CompressionError, FPCCompressor
+
+
+@pytest.fixture(scope="module")
+def fpc():
+    return FPCCompressor()
+
+
+def pack_words(words):
+    return struct.pack("<16I", *[w & 0xFFFFFFFF for w in words])
+
+
+def test_zero_line_uses_runs(fpc):
+    result = fpc.compress(bytes(64))
+    # 16 zero words = two maximal runs of 8, each 3+3 bits.
+    assert result.size_bits == 12
+    assert fpc.decompress(result) == bytes(64)
+
+
+def test_single_zero_word_costs_six_bits(fpc):
+    line = pack_words([5] * 15 + [0])
+    zero_free = pack_words([5] * 16)
+    cost_with_zero = fpc.compress(line).size_bits
+    cost_without = fpc.compress(zero_free).size_bits
+    assert cost_with_zero - cost_without == 6 - 7  # zero run replaces a 4-bit SE word
+
+
+def test_four_bit_sign_extended(fpc):
+    line = pack_words([7, -8, 1, 2] * 4)
+    result = fpc.compress(line)
+    assert result.size_bits == 16 * 7
+    assert fpc.decompress(result) == line
+
+
+def test_one_byte_sign_extended(fpc):
+    line = pack_words([100, -100, 127, -128] * 4)
+    result = fpc.compress(line)
+    assert result.size_bits == 16 * 11
+    assert fpc.decompress(result) == line
+
+
+def test_halfword_sign_extended(fpc):
+    line = pack_words([30000, -30000, 128, -129] * 4)
+    result = fpc.compress(line)
+    assert fpc.decompress(result) == line
+
+
+def test_halfword_padded_with_zero_halfword(fpc):
+    line = pack_words([0x1234_0000] * 16)
+    result = fpc.compress(line)
+    assert result.size_bits == 16 * 19
+    assert fpc.decompress(result) == line
+
+
+def test_two_sign_extended_halfwords(fpc):
+    # Each halfword is a sign-extended byte: 0x00XX or 0xFFXX patterns.
+    word = (0x0042 << 16) | 0xFFC0  # high half = 0x42, low half = -64
+    line = pack_words([word] * 16)
+    result = fpc.compress(line)
+    assert result.size_bits == 16 * 19
+    assert fpc.decompress(result) == line
+
+
+def test_repeated_bytes_word(fpc):
+    line = pack_words([0xABABABAB] * 16)
+    result = fpc.compress(line)
+    assert result.size_bits == 16 * 11
+    assert fpc.decompress(result) == line
+
+
+def test_incompressible_words_cost_35_bits(fpc):
+    line = pack_words([0x12345678 + 0x9E3779B9 * i for i in range(16)])
+    result = fpc.compress(line)
+    assert result.size_bits <= 16 * 35
+    assert fpc.decompress(result) == line
+
+
+def test_wrong_input_length_raises(fpc):
+    with pytest.raises(CompressionError):
+        fpc.compress(b"\x00" * 65)
+
+
+def test_truncated_payload_raises(fpc):
+    result = fpc.compress(bytes(64))
+    truncated = type(result)(result.algorithm, result.encoding, result.size_bits, b"")
+    with pytest.raises(CompressionError):
+        fpc.decompress(truncated)
+
+
+def test_minimum_chunk_cost_matches_table1(fpc):
+    # Table I: FPC encodes a 4-byte chunk in as few as 3 bits (a zero
+    # word inside a run) and at most 3+32 bits standalone.
+    eight_zeros = pack_words([0] * 8 + [0x7FFFFFFF] * 8)
+    result = fpc.compress(eight_zeros)
+    # 8 zero words in one 6-bit run: amortized 0.75 bits per word.
+    assert result.size_bits == 6 + 8 * 35
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.binary(min_size=LINE_SIZE_BYTES, max_size=LINE_SIZE_BYTES))
+def test_roundtrip_random_lines(data):
+    fpc = FPCCompressor()
+    result = fpc.compress(data)
+    assert fpc.decompress(result) == data
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        st.one_of(
+            st.just(0),
+            st.integers(min_value=-8, max_value=7),
+            st.integers(min_value=-128, max_value=127),
+            st.integers(min_value=-(2**15), max_value=2**15 - 1),
+            st.integers(min_value=-(2**31), max_value=2**31 - 1),
+        ),
+        min_size=16,
+        max_size=16,
+    )
+)
+def test_roundtrip_patterned_lines(words):
+    fpc = FPCCompressor()
+    line = pack_words(words)
+    result = fpc.compress(line)
+    assert fpc.decompress(result) == line
+    assert result.size_bits <= 16 * 35

@@ -1,0 +1,119 @@
+"""Unit tests for the FVC compressor."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import (
+    DEFAULT_DICTIONARY,
+    BestOfCompressor,
+    CompressionError,
+    FVCCompressor,
+    LINE_SIZE_BYTES,
+)
+
+
+@pytest.fixture(scope="module")
+def fvc():
+    return FVCCompressor()
+
+
+def pack_words(words):
+    return struct.pack("<16I", *[w & 0xFFFFFFFF for w in words])
+
+
+def test_all_frequent_line_is_8_bytes(fvc):
+    line = pack_words([0, 1, 2, 4, 8, 0xFFFFFFFF, 0xFFFF, 0x80000000] * 2)
+    result = fvc.compress(line)
+    assert result.size_bits == 16 * 4  # 1 flag + 3 index bits per word
+    assert result.size_bytes == 8
+    assert fvc.decompress(result) == line
+
+
+def test_all_zero_line(fvc):
+    result = fvc.compress(bytes(64))
+    assert result.size_bytes == 8
+    assert fvc.decompress(result) == bytes(64)
+
+
+def test_infrequent_words_cost_33_bits(fvc):
+    line = pack_words([0xDEAD0000 + i * 7 + 5 for i in range(16)])
+    result = fvc.compress(line)
+    assert result.size_bits == 16 * 33
+    assert fvc.decompress(result) == line
+
+
+def test_mixed_line(fvc):
+    line = pack_words([0] * 8 + [0x12345678] * 8)
+    result = fvc.compress(line)
+    assert result.size_bits == 8 * 4 + 8 * 33
+    assert fvc.decompress(result) == line
+
+
+def test_hit_rate(fvc):
+    line = pack_words([0] * 12 + [0xDEADBEEF] * 4)
+    assert fvc.hit_rate(line) == pytest.approx(0.75)
+
+
+def test_custom_dictionary():
+    magic = 0xCAFEBABE
+    fvc = FVCCompressor(dictionary=(0, magic))
+    line = pack_words([magic] * 16)
+    result = fvc.compress(line)
+    assert result.size_bits == 16 * 2  # 1 flag + 1 index bit
+    assert fvc.decompress(result) == line
+
+
+def test_dictionary_validation():
+    with pytest.raises(ValueError):
+        FVCCompressor(dictionary=())
+    with pytest.raises(ValueError):
+        FVCCompressor(dictionary=(0, 1, 2))  # not a power of two
+    with pytest.raises(ValueError):
+        FVCCompressor(dictionary=(0, 0))  # duplicates
+    with pytest.raises(ValueError):
+        FVCCompressor(dictionary=(0, 1 << 32))  # not 32-bit
+
+
+def test_truncated_payload(fvc):
+    result = fvc.compress(bytes(64))
+    bad = type(result)(result.algorithm, result.encoding, result.size_bits, b"\x00")
+    with pytest.raises(CompressionError):
+        fvc.decompress(bad)
+
+
+def test_wrong_input_length(fvc):
+    with pytest.raises(CompressionError):
+        fvc.compress(bytes(32))
+
+
+def test_works_as_best_of_member():
+    best = BestOfCompressor(
+        (FVCCompressor(),)
+    )
+    line = bytes(64)
+    assert best.decompress(best.compress(line)) == line
+
+    three_way = BestOfCompressor()
+    from repro.compression import BDICompressor, FPCCompressor
+
+    three_way = BestOfCompressor((BDICompressor(), FPCCompressor(), FVCCompressor()))
+    for line in (bytes(64), pack_words([1] * 16), pack_words(range(16))):
+        chosen = three_way.compress(line)
+        assert three_way.decompress(chosen) == line
+
+
+def test_default_dictionary_has_zero_first():
+    assert DEFAULT_DICTIONARY[0] == 0
+    assert len(DEFAULT_DICTIONARY) == 8
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.binary(min_size=LINE_SIZE_BYTES, max_size=LINE_SIZE_BYTES))
+def test_roundtrip_random(data):
+    fvc = FVCCompressor()
+    result = fvc.compress(data)
+    assert fvc.decompress(result) == data
+    assert result.size_bits <= 16 * 33

@@ -1,0 +1,82 @@
+"""Unit tests for compression statistics helpers."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.compression import (
+    BestOfCompressor,
+    compressed_sizes,
+    size_cdf,
+    size_change_probability,
+    summarize,
+    summarize_members,
+)
+
+
+@pytest.fixture(scope="module")
+def best():
+    return BestOfCompressor()
+
+
+@pytest.fixture(scope="module")
+def lines():
+    return [
+        bytes(64),
+        struct.pack("<8q", *[(1 << 40) + i for i in range(8)]),
+        bytes(range(64)),
+    ]
+
+
+def test_compressed_sizes_per_line(best, lines):
+    sizes = compressed_sizes(best, lines)
+    assert len(sizes) == 3
+    assert sizes[0] == 1  # all-zero line
+    assert all(1 <= size <= 64 for size in sizes)
+
+
+def test_summarize_matches_mean(best, lines):
+    summary = summarize(best, lines)
+    sizes = compressed_sizes(best, lines)
+    assert summary.line_count == 3
+    assert summary.mean_size_bytes == pytest.approx(np.mean(sizes))
+    assert summary.compression_ratio == pytest.approx(np.mean(sizes) / 64)
+
+
+def test_summarize_members_includes_best(best, lines):
+    summaries = summarize_members(best, lines)
+    assert set(summaries) == {"bdi", "fpc", "best"}
+    assert summaries["best"].mean_size_bytes <= summaries["bdi"].mean_size_bytes
+    assert summaries["best"].mean_size_bytes <= summaries["fpc"].mean_size_bytes
+
+
+def test_summarize_empty_raises(best):
+    with pytest.raises(ValueError):
+        summarize(best, [])
+
+
+def test_size_change_probability_basic():
+    assert size_change_probability([10, 10, 10]) == 0.0
+    assert size_change_probability([10, 20, 20]) == pytest.approx(0.5)
+    assert size_change_probability([10, 20, 30]) == 1.0
+    assert size_change_probability([10]) == 0.0
+
+
+def test_size_change_probability_tolerance():
+    sizes = [10, 12, 10, 30]
+    assert size_change_probability(sizes, tolerance=4) == pytest.approx(1 / 3)
+
+
+def test_size_cdf_monotone():
+    sizes = [4, 4, 8, 16, 16, 16, 64]
+    values, cumulative = size_cdf(sizes)
+    assert list(values) == [4, 8, 16, 64]
+    assert cumulative[-1] == pytest.approx(1.0)
+    assert np.all(np.diff(cumulative) > 0)
+    assert cumulative[0] == pytest.approx(2 / 7)
+
+
+def test_size_cdf_empty_raises():
+    with pytest.raises(ValueError):
+        size_cdf([])

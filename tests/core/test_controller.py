@@ -1,0 +1,189 @@
+"""Unit and integration tests for the compression-aware controller."""
+
+import numpy as np
+import pytest
+
+from repro.core import CompressedPCMController, baseline, comp, comp_w, comp_wf
+from repro.pcm import EnduranceModel
+
+
+def make_controller(config, n_lines=16, endurance=500, cov=0.0, seed=0, **kwargs):
+    return CompressedPCMController(
+        config=config,
+        n_lines=n_lines,
+        endurance_model=EnduranceModel(mean=endurance, cov=cov),
+        rng=np.random.default_rng(seed),
+        **kwargs,
+    )
+
+
+def compressible_line(tag=0):
+    words = (np.arange(16) + (1 << 20) + int(tag)).astype(np.uint32)
+    return words.tobytes()
+
+
+def incompressible_line(seed=0):
+    return np.random.default_rng(seed).bytes(64)
+
+
+class TestBasicOperation:
+    def test_write_then_read_roundtrip_compressed(self):
+        controller = make_controller(comp_wf())
+        data = compressible_line()
+        result = controller.write(3, data)
+        assert result.compressed
+        assert controller.read(3) == data
+
+    def test_write_then_read_roundtrip_uncompressed(self):
+        controller = make_controller(baseline())
+        data = incompressible_line()
+        controller.write(3, data)
+        assert controller.read(3) == data
+        assert controller.stats.uncompressed_writes >= 1
+
+    def test_many_lines_roundtrip(self):
+        controller = make_controller(comp_wf(), n_lines=8)
+        rng = np.random.default_rng(1)
+        last = {}
+        for step in range(300):
+            line = int(rng.integers(0, 8))
+            data = compressible_line(step) if step % 2 else incompressible_line(step)
+            controller.write(line, data)
+            last[line] = data
+        for line, data in last.items():
+            assert controller.read(line) == data
+
+    def test_unwritten_line_reads_none(self):
+        controller = make_controller(comp_wf())
+        assert controller.read(0) is None
+
+    def test_rejects_bad_payload_size(self):
+        controller = make_controller(comp_wf())
+        with pytest.raises(ValueError):
+            controller.write(0, b"short")
+
+
+class TestCompressionDecisions:
+    def test_baseline_never_compresses(self):
+        controller = make_controller(baseline())
+        for step in range(20):
+            controller.write(step % 4, compressible_line(step))
+        assert controller.stats.compressed_writes == 0
+
+    def test_comp_compresses_compressible_data(self):
+        controller = make_controller(comp())
+        controller.write(0, compressible_line())
+        assert controller.stats.compressed_writes == 1
+
+    def test_incompressible_data_stored_raw(self):
+        controller = make_controller(comp())
+        result = controller.write(0, incompressible_line())
+        assert not result.compressed
+        assert result.size_bytes == 64
+
+    def test_heuristic_steps_recorded(self):
+        controller = make_controller(comp_wf())
+        controller.write(0, bytes(64))  # tiny: step 1
+        assert controller.stats.heuristic_steps.get(1, 0) >= 1
+
+
+class TestWearAndDeath:
+    def test_blocks_die_under_hammering(self):
+        controller = make_controller(baseline(), n_lines=4, endurance=8, seed=2)
+        rng = np.random.default_rng(3)
+        for _ in range(600):
+            controller.write(0, rng.bytes(64))
+        assert controller.stats.deaths > 0
+        assert controller.dead_fraction > 0
+
+    def test_dead_block_write_is_lost(self):
+        controller = make_controller(
+            comp(start_gap_psi=10_000), n_lines=4, endurance=6, seed=2
+        )
+        rng = np.random.default_rng(4)
+        for _ in range(800):
+            controller.write(1, rng.bytes(64))
+        assert controller.stats.lost_writes > 0
+
+    def test_compression_survives_more_faults_than_ecp6(self):
+        # The headline mechanism: with compressed data the block keeps
+        # working past 6 faults by sliding the window.
+        controller = make_controller(
+            comp(start_gap_psi=10**9), n_lines=2, endurance=20, seed=5
+        )
+        rng = np.random.default_rng(6)
+        deaths_seen = 0
+        max_faults_while_alive = 0
+        for step in range(4000):
+            result = controller.write(0, compressible_line(rng.integers(1 << 16)))
+            if result.died:
+                deaths_seen += 1
+                break
+            physical = controller.start_gap.map(0)
+            max_faults_while_alive = max(
+                max_faults_while_alive, controller.memory.fault_count(physical)
+            )
+        assert max_faults_while_alive > 6
+
+    def test_death_records_fault_count(self):
+        controller = make_controller(baseline(), n_lines=2, endurance=8, seed=7)
+        rng = np.random.default_rng(8)
+        for _ in range(1000):
+            controller.write(0, rng.bytes(64))
+            if controller.stats.deaths:
+                break
+        assert controller.average_faults_per_dead_block() >= 7
+
+
+class TestRevival:
+    def test_comp_wf_revives_dead_blocks(self):
+        controller = make_controller(
+            comp_wf(start_gap_psi=5), n_lines=8, endurance=15, seed=9
+        )
+        rng = np.random.default_rng(10)
+        for step in range(4000):
+            line = int(rng.integers(0, 8))
+            if step % 3:
+                controller.write(line, bytes(64))  # highly compressible
+            else:
+                controller.write(line, rng.bytes(64))
+            if controller.stats.revivals > 0:
+                break
+        assert controller.stats.revivals > 0
+
+    def test_comp_w_never_revives(self):
+        controller = make_controller(
+            comp_w(start_gap_psi=5), n_lines=8, endurance=15, seed=9
+        )
+        rng = np.random.default_rng(10)
+        for step in range(4000):
+            line = int(rng.integers(0, 8))
+            data = bytes(64) if step % 3 else rng.bytes(64)
+            controller.write(line, data)
+        assert controller.stats.revivals == 0
+
+
+class TestWearLeveling:
+    def test_start_gap_moves_cost_writes(self):
+        controller = make_controller(comp(start_gap_psi=10), n_lines=8)
+        for step in range(100):
+            controller.write(step % 8, compressible_line(step))
+        assert controller.stats.gap_move_writes > 0
+
+    def test_intra_wl_rotates_window_starts(self):
+        controller = make_controller(
+            comp_w(intra_counter_limit=4, start_gap_psi=10**9), n_lines=8
+        )
+        starts = set()
+        for step in range(200):
+            result = controller.write(step % 8, compressible_line(step))
+            if result.compressed:
+                starts.add(result.window_start)
+        assert len(starts) > 4  # windows drift across the line
+
+    def test_comp_windows_stay_at_lsb(self):
+        controller = make_controller(comp(start_gap_psi=10**9), n_lines=8)
+        for step in range(100):
+            result = controller.write(step % 8, compressible_line(step))
+            if result.compressed:
+                assert result.window_start == 0

@@ -1,0 +1,71 @@
+"""The uncompressed->compressed rescue is a Comp+WF-only behaviour.
+
+Section III-A.3/4: Comp and Comp+W give a block up the first time a
+write cannot be stored in its chosen format; only the advanced
+hard-error definition keeps using the block while the *compressed*
+form still fits.  These tests pin that semantic difference, which is
+what produces Figure 10's Comp degradation on volatile workloads.
+"""
+
+import numpy as np
+
+from repro.core import CompressedPCMController, comp, comp_wf
+from repro.pcm import EnduranceModel
+
+
+def controller_for(config, endurance=25, seed=11):
+    return CompressedPCMController(
+        config=config,
+        n_lines=4,
+        endurance_model=EnduranceModel(mean=endurance, cov=0.0),
+        rng=np.random.default_rng(seed),
+    )
+
+
+def wear_out_line(controller, line, writes=4000, seed=12):
+    """Alternate far-apart compressed sizes until the block dies.
+
+    The size swings saturate the Figure 8 counter, so the heuristic
+    demands *uncompressed* storage -- the case where only Comp+WF's
+    compressed fallback can keep a worn block alive.
+    """
+    from repro.traces import PayloadModel
+
+    model = PayloadModel(np.random.default_rng(seed))
+    for step in range(writes):
+        # Alternate a tiny write (always compressed, hammers the LSB
+        # window) with a mid-size one (stored raw once SC saturates).
+        # Faults therefore cluster at the LSB: the full line becomes
+        # unusable while a slid 41-byte window is still healthy.
+        payload = model.make_fpc(1 if step % 2 else 9)
+        result = controller.write(line, payload)
+        if result.died:
+            return step + 1
+    return None
+
+
+def test_comp_dies_on_unstorable_uncompressed_write():
+    controller = controller_for(comp(start_gap_psi=10**9))
+    died_at = wear_out_line(controller, 0)
+    assert died_at is not None
+    assert controller.stats.deaths >= 1
+
+
+def test_comp_wf_outlives_comp_via_compressed_fallback():
+    comp_controller = controller_for(comp(start_gap_psi=10**9))
+    wf_controller = controller_for(comp_wf(start_gap_psi=10**9))
+    comp_death = wear_out_line(comp_controller, 0)
+    wf_death = wear_out_line(wf_controller, 0)
+    assert comp_death is not None
+    # Comp+WF either survives the whole run or dies strictly later.
+    assert wf_death is None or wf_death > comp_death
+
+
+def test_fallback_never_triggers_for_baseline():
+    from repro.core import baseline
+
+    controller = controller_for(baseline(start_gap_psi=10**9), endurance=10)
+    died_at = wear_out_line(controller, 0, writes=2000)
+    assert died_at is not None
+    # Baseline stores nothing compressed, before or after deaths.
+    assert controller.stats.compressed_writes == 0

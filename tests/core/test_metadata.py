@@ -1,0 +1,61 @@
+"""Unit tests for per-line metadata."""
+
+import pytest
+
+from repro.core import METADATA_BITS, SC_MAX, LineMetadata
+
+
+def test_metadata_is_13_bits():
+    # Section III-B: 6-bit pointer + 5-bit encoding + 2-bit SC.
+    assert METADATA_BITS == 13
+
+
+def test_defaults():
+    meta = LineMetadata()
+    assert meta.start_pointer == 0
+    assert not meta.compressed
+    assert meta.stored_size == 64
+    assert not meta.sc_saturated
+
+
+def test_sc_saturation():
+    meta = LineMetadata()
+    for _ in range(5):
+        meta.increment_sc()
+    assert meta.sc == SC_MAX
+    assert meta.sc_saturated
+    meta.decrement_sc()
+    assert meta.sc == SC_MAX - 1
+    for _ in range(5):
+        meta.decrement_sc()
+    assert meta.sc == 0
+
+
+def test_pack_unpack_roundtrip():
+    meta = LineMetadata(start_pointer=37, encoding=21, sc=2, compressed=True, stored_size=24)
+    packed = meta.pack()
+    assert 0 <= packed < (1 << METADATA_BITS)
+    restored = LineMetadata.unpack(packed, compressed=True, stored_size=24)
+    assert restored == meta
+
+
+def test_pack_unpack_extremes():
+    for pointer, encoding, sc in ((0, 0, 0), (63, 31, 3)):
+        meta = LineMetadata(start_pointer=pointer, encoding=encoding, sc=sc)
+        restored = LineMetadata.unpack(meta.pack(), compressed=False, stored_size=64)
+        assert (restored.start_pointer, restored.encoding, restored.sc) == (
+            pointer, encoding, sc,
+        )
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        LineMetadata(start_pointer=64)
+    with pytest.raises(ValueError):
+        LineMetadata(encoding=32)
+    with pytest.raises(ValueError):
+        LineMetadata(sc=4)
+    with pytest.raises(ValueError):
+        LineMetadata(stored_size=0)
+    with pytest.raises(ValueError):
+        LineMetadata.unpack(1 << METADATA_BITS, compressed=False, stored_size=64)

@@ -1,0 +1,115 @@
+"""Unit tests for compression-window placement."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    extract_bytes,
+    faults_in_window,
+    find_window,
+    place_bytes,
+    window_mask,
+)
+from repro.correction import ecp6
+from repro.pcm import bytes_to_bits
+
+
+def test_mask_simple():
+    mask = window_mask(0, 4)
+    assert mask[:32].all()
+    assert not mask[32:].any()
+
+
+def test_mask_wraps():
+    mask = window_mask(62, 4)
+    expected = set(range(62 * 8, 64 * 8)) | set(range(0, 2 * 8))
+    assert set(np.flatnonzero(mask)) == expected
+
+
+def test_mask_cached_and_readonly():
+    a = window_mask(3, 10)
+    b = window_mask(3, 10)
+    assert a is b
+    with pytest.raises(ValueError):
+        a[0] = True
+
+
+def test_mask_validation():
+    with pytest.raises(ValueError):
+        window_mask(64, 4)
+    with pytest.raises(ValueError):
+        window_mask(0, 0)
+    with pytest.raises(ValueError):
+        window_mask(0, 65)
+
+
+def test_place_and_extract_roundtrip():
+    base = bytes_to_bits(bytes(64)).copy()
+    payload = bytes(range(10))
+    for start in (0, 13, 60):  # including a wrapping window
+        placed = place_bytes(base, payload, start)
+        assert extract_bytes(placed, start, 10) == payload
+
+
+def test_place_leaves_rest_untouched():
+    base = bytes_to_bits(b"\xaa" * 64).copy()
+    placed = place_bytes(base, bytes(4), 8)
+    assert extract_bytes(placed, 12, 52) == b"\xaa" * 52
+    assert extract_bytes(placed, 0, 8) == b"\xaa" * 8
+
+
+def test_place_rejects_oversize():
+    base = bytes_to_bits(bytes(64)).copy()
+    with pytest.raises(ValueError):
+        place_bytes(base, bytes(65), 0)
+
+
+def test_faults_in_window_rebased():
+    faults = np.array([8, 100, 500])
+    inside = faults_in_window(faults, start_byte=1, size_bytes=12)
+    # Window covers bits [8, 104): faults 8 and 100 -> relative 0 and 92.
+    assert inside.tolist() == [0, 92]
+
+
+def test_faults_in_window_wrapping():
+    faults = np.array([0, 8, 504])
+    inside = faults_in_window(faults, start_byte=63, size_bytes=2)
+    # Window covers bits [504, 512) + [0, 8): faults 504 -> 0, 0 -> 8.
+    assert inside.tolist() == [0, 8]
+
+
+def test_find_window_trivial_with_few_faults():
+    scheme = ecp6()
+    faults = np.array([1, 2, 3])
+    assert find_window(faults, 16, scheme, start_hint=5) == 5
+
+
+def test_find_window_slides_past_fault_cluster():
+    scheme = ecp6()
+    # 10 faults packed in byte 0..1: any window containing them fails,
+    # so placement must start past them.
+    faults = np.arange(10)
+    start = find_window(faults, 32, scheme, start_hint=0)
+    assert start is not None
+    inside = faults_in_window(faults, start, 32)
+    assert inside.size <= 6
+
+
+def test_find_window_full_line():
+    scheme = ecp6()
+    assert find_window(np.arange(6), 64, scheme) == 0
+    assert find_window(np.arange(7), 64, scheme) is None
+
+
+def test_find_window_none_when_saturated():
+    scheme = ecp6()
+    # A fault every 4 bits: every 32-byte window holds 64 faults.
+    faults = np.arange(0, 512, 4)
+    assert find_window(faults, 32, scheme) is None
+
+
+def test_find_window_prefers_hint():
+    scheme = ecp6()
+    faults = np.arange(10)  # cluster at bytes 0-1
+    start = find_window(faults, 8, scheme, start_hint=40)
+    assert start == 40

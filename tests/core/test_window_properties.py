@@ -1,0 +1,87 @@
+"""Property-based tests for window placement invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import faults_in_window, find_window, place_bytes, window_mask
+from repro.correction import aegis17x31, ecp6, safer32
+from repro.pcm import bytes_to_bits
+
+fault_sets = st.lists(
+    st.integers(min_value=0, max_value=511), min_size=0, max_size=40, unique=True
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    fault_sets,
+    st.integers(min_value=1, max_value=64),
+    st.integers(min_value=0, max_value=63),
+)
+def test_found_windows_are_always_feasible(faults, size, hint):
+    """find_window never returns an infeasible placement (ECP-6)."""
+    scheme = ecp6()
+    faults = np.asarray(sorted(faults), dtype=np.int64)
+    start = find_window(faults, size, scheme, start_hint=hint)
+    if start is not None:
+        inside = faults_in_window(faults, start, size)
+        assert inside.size <= scheme.deterministic_capability or scheme.can_correct(
+            inside
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(fault_sets, st.integers(min_value=1, max_value=64))
+def test_smaller_windows_never_harder_to_place(faults, size):
+    """If a window of size ``s`` fits, every smaller size fits too."""
+    scheme = ecp6()
+    faults = np.asarray(sorted(faults), dtype=np.int64)
+    if find_window(faults, size, scheme) is not None and size > 1:
+        assert find_window(faults, size - 1, scheme) is not None
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    fault_sets,
+    st.integers(min_value=1, max_value=32),
+    st.sampled_from(["safer32", "aegis17x31"]),
+)
+def test_partition_schemes_respect_window_feasibility(faults, size, scheme_name):
+    scheme = safer32() if scheme_name == "safer32" else aegis17x31()
+    faults = np.asarray(sorted(faults), dtype=np.int64)
+    start = find_window(faults, size, scheme)
+    if start is not None:
+        inside = faults_in_window(faults, start, size)
+        assert inside.size <= scheme.deterministic_capability or scheme.can_correct(
+            inside
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.binary(min_size=0, max_size=64),
+    st.integers(min_value=0, max_value=63),
+    st.binary(min_size=64, max_size=64),
+)
+def test_place_bytes_only_touches_its_window(payload, start, base_bytes):
+    base = bytes_to_bits(base_bytes).copy()
+    placed = place_bytes(base, payload, start)
+    if payload:
+        mask = window_mask(start, len(payload))
+        assert np.array_equal(placed[~mask], base[~mask])
+    else:
+        assert np.array_equal(placed, base)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=63),
+    st.integers(min_value=1, max_value=64),
+)
+def test_window_mask_size_and_wrap(start, size):
+    mask = window_mask(start, size)
+    assert int(mask.sum()) == size * 8
+    # Wrapping windows cover the head and tail of the line.
+    if start + size > 64:
+        assert mask[0] and mask[-1]

@@ -1,0 +1,109 @@
+"""Unit tests for Aegis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.correction import Aegis, aegis17x31
+
+
+@pytest.fixture(scope="module")
+def scheme():
+    return aegis17x31()
+
+
+def test_configuration(scheme):
+    assert scheme.rows == 17
+    assert scheme.columns == 31
+    assert scheme.rows * scheme.columns >= 512
+    assert scheme.deterministic_capability == 8  # C(8,2)=28 < 32 families
+    assert scheme.metadata_bits <= 64
+
+
+def test_deterministic_capability_random(scheme):
+    rng = np.random.default_rng(2)
+    for _ in range(300):
+        faults = rng.choice(512, size=scheme.deterministic_capability, replace=False)
+        assert scheme.can_correct(faults), faults
+
+
+def test_pairs_collide_in_at_most_one_family(scheme):
+    # The lattice property Aegis relies on.
+    rng = np.random.default_rng(3)
+    positions = rng.choice(512, size=40, replace=False)
+    for a, b in zip(positions[::2], positions[1::2]):
+        collisions = 0
+        pair = np.array([a, b])
+        for slope in range(scheme.columns + 1):
+            ids = scheme.group_ids(slope, pair)
+            collisions += ids[0] == ids[1]
+        assert collisions <= 1
+
+
+def test_find_slope_separates(scheme):
+    faults = [0, 31, 62, 100, 200, 300, 400, 500]
+    slope = scheme.find_slope(faults)
+    assert slope is not None
+    ids = scheme.group_ids(slope, np.asarray(faults))
+    assert np.unique(ids).size == len(faults)
+
+
+def test_more_faults_than_columns_fail(scheme):
+    assert not scheme.can_correct(list(range(32)))
+
+
+def test_same_column_faults_use_sloped_family(scheme):
+    # Cells in one grid column (same x, different y) are separated by
+    # any nonzero slope.
+    faults = [0, 31, 62, 93]  # x=0, y=0..3
+    slope = scheme.find_slope(faults)
+    assert slope is not None and slope != 0
+
+
+def test_beats_safer_below_its_guarantee(scheme):
+    # Aegis guarantees 8 faults where SAFER-32 guarantees 6, so in the
+    # 7..10 fault range Aegis succeeds at least as often (Figure 9's
+    # low-error region).
+    from repro.correction import safer32
+
+    safer = safer32()
+    trials = 150
+    for size in (7, 8, 10):
+        rng_a = np.random.default_rng(4)
+        aegis_wins = sum(
+            scheme.can_correct(rng_a.choice(512, size=size, replace=False))
+            for _ in range(trials)
+        )
+        rng_s = np.random.default_rng(4)
+        safer_wins = sum(
+            safer.can_correct(rng_s.choice(512, size=size, replace=False))
+            for _ in range(trials)
+        )
+        assert aegis_wins >= safer_wins
+
+
+def test_empty_and_single(scheme):
+    assert scheme.can_correct([])
+    assert scheme.can_correct([511])
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        Aegis(rows=17, columns=30)  # not prime
+    with pytest.raises(ValueError):
+        Aegis(rows=0, columns=31)
+    with pytest.raises(ValueError):
+        Aegis(rows=40, columns=31)
+    with pytest.raises(ValueError):
+        Aegis(rows=4, columns=31)  # 124 cells < 512
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.integers(min_value=0, max_value=511), min_size=0, max_size=8, unique=True
+    )
+)
+def test_up_to_eight_faults_always_correctable(faults):
+    assert aegis17x31().can_correct(faults)

@@ -1,0 +1,65 @@
+"""Unit tests for ECP."""
+
+import numpy as np
+import pytest
+
+from repro.correction import ECP, ecp6
+
+
+def test_ecp6_metadata_fits_ecc_chip():
+    scheme = ecp6()
+    assert scheme.metadata_bits == 61
+    assert scheme.spare_metadata_bits(64) == 3  # compressed flag lives here
+    assert scheme.deterministic_capability == 6
+
+
+def test_corrects_up_to_entry_count():
+    scheme = ecp6()
+    assert scheme.can_correct([])
+    assert scheme.can_correct([0, 511, 100, 200, 300, 400])
+    assert not scheme.can_correct([0, 1, 2, 3, 4, 5, 6])
+
+
+def test_duplicate_faults_counted_once():
+    scheme = ecp6()
+    assert scheme.can_correct([7] * 20)
+
+
+def test_position_validation():
+    scheme = ecp6()
+    with pytest.raises(ValueError):
+        scheme.can_correct([512])
+    with pytest.raises(ValueError):
+        scheme.can_correct([-1])
+
+
+def test_custom_entry_counts():
+    assert ECP(entries=1).metadata_bits == 11
+    assert ECP(entries=12).metadata_bits == 121  # ECP-12 needs ~2x storage
+    assert ECP(entries=0).can_correct([]) is True
+    assert ECP(entries=0).can_correct([3]) is False
+
+
+def test_repair_restores_true_bits():
+    scheme = ecp6()
+    rng = np.random.default_rng(0)
+    true_bits = rng.integers(0, 2, 512).astype(np.uint8)
+    stored = true_bits.copy()
+    faults = [3, 77, 500]
+    stored[faults] ^= 1  # stuck at the wrong value
+    repaired = scheme.repair(stored, faults, true_bits)
+    assert np.array_equal(repaired, true_bits)
+
+
+def test_repair_rejects_overflow():
+    scheme = ECP(entries=2)
+    bits = np.zeros(512, dtype=np.uint8)
+    with pytest.raises(ValueError):
+        scheme.repair(bits, [1, 2, 3], bits)
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        ECP(entries=-1)
+    with pytest.raises(ValueError):
+        ECP(entries=6, block_bits=0)

@@ -1,0 +1,111 @@
+"""Unit tests for the FREE-p remap extension."""
+
+import numpy as np
+import pytest
+
+from repro.correction import FreePRemapper
+
+
+def healthy_mask(faulty_count=0):
+    mask = np.zeros(512, dtype=bool)
+    mask[:faulty_count] = True
+    return mask
+
+
+class TestRemapper:
+    def test_for_memory_reserves_top_lines(self):
+        remapper = FreePRemapper.for_memory(100, spare_fraction=0.1)
+        assert remapper.spares_available == 10
+        assert remapper.is_spare(95)
+        assert not remapper.is_spare(89)
+
+    def test_resolve_identity_without_remaps(self):
+        remapper = FreePRemapper([9], pointer_bits=4)
+        assert remapper.resolve(3) == 3
+
+    def test_remap_and_resolve(self):
+        remapper = FreePRemapper([8, 9], pointer_bits=4)
+        spare = remapper.remap(2, healthy_mask())
+        assert spare == 8
+        assert remapper.resolve(2) == 8
+        assert remapper.spares_available == 1
+
+    def test_chains_are_collapsed(self):
+        remapper = FreePRemapper([8, 9], pointer_bits=4)
+        first = remapper.remap(2, healthy_mask())
+        second = remapper.remap(first, healthy_mask())
+        assert second == 9
+        # The original's pointer was rewritten to the final target.
+        assert remapper.resolve(2) == 9
+        assert remapper._remap[2] == 9  # collapsed, not chained
+
+    def test_exhausted_spares(self):
+        remapper = FreePRemapper([8], pointer_bits=4)
+        assert remapper.remap(1, healthy_mask()) == 8
+        assert remapper.remap(2, healthy_mask()) is None
+
+    def test_pointer_needs_healthy_cells(self):
+        remapper = FreePRemapper([8], pointer_bits=9, replication=7)
+        assert remapper.pointer_cells_needed == 63
+        # 460 faulty cells leave only 52 healthy: not enough.
+        assert not remapper.can_store_pointer(healthy_mask(460))
+        assert remapper.remap(1, healthy_mask(460)) is None
+        assert remapper.spares_available == 1  # spare not consumed
+        assert remapper.can_store_pointer(healthy_mask(440))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FreePRemapper([1], pointer_bits=0)
+        with pytest.raises(ValueError):
+            FreePRemapper([1], pointer_bits=4, replication=0)
+        with pytest.raises(ValueError):
+            FreePRemapper.for_memory(10, spare_fraction=1.0)
+
+
+class TestControllerIntegration:
+    def make_controller(self, spare_fraction):
+        from repro.core import CompressedPCMController, comp_wf
+        from repro.pcm import EnduranceModel
+
+        return CompressedPCMController(
+            config=comp_wf(spare_line_fraction=spare_fraction, start_gap_psi=50),
+            n_lines=8,
+            endurance_model=EnduranceModel(mean=20, cov=0.1),
+            rng=np.random.default_rng(3),
+        )
+
+    def hammer(self, controller, writes=4000):
+        rng = np.random.default_rng(4)
+        for step in range(writes):
+            controller.write(int(rng.integers(0, 8)), rng.bytes(64))
+
+    def test_disabled_by_default(self):
+        controller = self.make_controller(0.0)
+        assert controller.remapper is None
+        self.hammer(controller)
+        assert controller.stats.remaps == 0
+
+    def test_remaps_happen_and_data_flows_to_spares(self):
+        controller = self.make_controller(0.5)
+        assert controller.remapper is not None
+        self.hammer(controller)
+        assert controller.stats.remaps > 0
+        # Remapped-but-live blocks are not dead capacity.
+        assert controller.dead_fraction <= 1.0
+
+    def test_reads_follow_remaps(self):
+        controller = self.make_controller(0.5)
+        rng = np.random.default_rng(5)
+        last = {}
+        for step in range(3000):
+            line = int(rng.integers(0, 8))
+            data = rng.bytes(64)
+            result = controller.write(line, data)
+            last[line] = None if result.lost else data
+        for line, expected in last.items():
+            if expected is None:
+                continue
+            physical = controller._resolve(controller.start_gap.map(line))
+            if controller.dead[physical]:
+                continue
+            assert controller.read(line) == expected

@@ -1,0 +1,74 @@
+"""Unit tests for the bit-exact Hamming (72,64) SECDED codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.correction import HammingSECDED
+
+
+@pytest.fixture(scope="module")
+def codec():
+    return HammingSECDED()
+
+
+def random_data(seed=0):
+    return np.random.default_rng(seed).integers(0, 2, 64).astype(np.uint8)
+
+
+def test_clean_roundtrip(codec):
+    data = random_data(1)
+    decoded, status = codec.decode(codec.encode(data))
+    assert status == "ok"
+    assert np.array_equal(decoded, data)
+
+
+def test_every_single_bit_error_corrected(codec):
+    data = random_data(2)
+    code = codec.encode(data)
+    for position in range(72):
+        corrupted = code.copy()
+        corrupted[position] ^= 1
+        decoded, status = codec.decode(corrupted)
+        assert status == "corrected", position
+        assert np.array_equal(decoded, data), position
+
+
+def test_double_errors_detected_not_miscorrected(codec):
+    data = random_data(3)
+    code = codec.encode(data)
+    rng = np.random.default_rng(4)
+    for _ in range(100):
+        a, b = rng.choice(72, size=2, replace=False)
+        corrupted = code.copy()
+        corrupted[a] ^= 1
+        corrupted[b] ^= 1
+        _, status = codec.decode(corrupted)
+        assert status == "detected", (a, b)
+
+
+def test_parity_bit_flip_is_corrected(codec):
+    data = random_data(5)
+    code = codec.encode(data)
+    code[0] ^= 1
+    decoded, status = codec.decode(code)
+    assert status == "corrected"
+    assert np.array_equal(decoded, data)
+
+
+def test_shape_validation(codec):
+    with pytest.raises(ValueError):
+        codec.encode(np.zeros(63, dtype=np.uint8))
+    with pytest.raises(ValueError):
+        codec.decode(np.zeros(71, dtype=np.uint8))
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1), min_size=64, max_size=64))
+def test_roundtrip_random(bits):
+    codec = HammingSECDED()
+    data = np.array(bits, dtype=np.uint8)
+    decoded, status = codec.decode(codec.encode(data))
+    assert status == "ok"
+    assert np.array_equal(decoded, data)

@@ -1,0 +1,56 @@
+"""Unit tests for the scheme registry and base-class behaviour."""
+
+import pytest
+
+from repro.correction import (
+    PAPER_SCHEMES,
+    CorrectionScheme,
+    make_scheme,
+    normalize_faults,
+)
+
+
+def test_paper_schemes_constructible():
+    for name in PAPER_SCHEMES:
+        scheme = make_scheme(name)
+        assert isinstance(scheme, CorrectionScheme)
+        assert scheme.name == name
+        assert scheme.metadata_bits <= 64
+
+
+def test_unknown_scheme_rejected():
+    with pytest.raises(ValueError, match="unknown correction scheme"):
+        make_scheme("raid5")
+
+
+def test_secded_available():
+    assert make_scheme("secded").name == "secded"
+
+
+def test_normalize_faults_deduplicates_and_sorts():
+    faults = normalize_faults([5, 1, 5, 3], 512)
+    assert faults.tolist() == [1, 3, 5]
+
+
+def test_normalize_faults_bounds():
+    with pytest.raises(ValueError):
+        normalize_faults([512], 512)
+    with pytest.raises(ValueError):
+        normalize_faults([-1], 512)
+
+
+def test_spare_metadata_overflow():
+    scheme = make_scheme("ecp6")
+    with pytest.raises(ValueError):
+        scheme.spare_metadata_bits(32)
+
+
+def test_capabilities_ordering():
+    # Figure 9's qualitative story: ECP-6 < SAFER-32 <= Aegis in
+    # guaranteed capability.
+    ecp = make_scheme("ecp6")
+    safer = make_scheme("safer32")
+    aegis = make_scheme("aegis17x31")
+    assert ecp.deterministic_capability == 6
+    assert safer.deterministic_capability == 6
+    assert aegis.deterministic_capability > safer.deterministic_capability

@@ -1,0 +1,105 @@
+"""Unit tests for SAFER."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.correction import SAFER, safer32
+
+
+@pytest.fixture(scope="module")
+def scheme():
+    return safer32()
+
+
+def test_configuration(scheme):
+    assert scheme.partitions == 32
+    assert scheme.select_bits == 5
+    assert scheme.index_bits == 9
+    assert scheme.deterministic_capability == 6
+    assert scheme.metadata_bits <= 64  # fits the ECC-chip slice
+
+
+def test_deterministic_capability_holds_everywhere(scheme):
+    # Any 6 faults are correctable: exhaustively check adversarial
+    # clusters plus random draws.
+    rng = np.random.default_rng(1)
+    for _ in range(300):
+        faults = rng.choice(512, size=6, replace=False)
+        assert scheme.can_correct(faults), faults
+    # Dense cluster.
+    assert scheme.can_correct([0, 1, 2, 3, 4, 5])
+
+
+def test_probabilistic_range(scheme):
+    # SAFER-32 can separate some large fault sets but not all.
+    assert not scheme.can_correct(list(range(33)))  # more faults than partitions
+    # 32 faults that differ only in the low 5 index bits are correctable
+    # (select those 5 bits).
+    assert scheme.can_correct(list(range(32)))
+    # 9 one-hot positions are NOT separable: any 5-bit projection sends
+    # the 4 out-of-selection faults all to partition 0.
+    assert not scheme.can_correct([1 << k for k in range(9)])
+
+
+def test_large_random_sets_increasingly_fail(scheme):
+    # Figure 9b behaviour: correction probability collapses well before
+    # 32 faults for uniformly placed fault sets.
+    rng = np.random.default_rng(11)
+    trials = 200
+    successes_at = {
+        size: sum(
+            scheme.can_correct(rng.choice(512, size=size, replace=False))
+            for _ in range(trials)
+        )
+        for size in (8, 20, 30)
+    }
+    assert successes_at[8] > 0.9 * trials
+    assert successes_at[20] < successes_at[8]
+    assert successes_at[30] < 0.05 * trials
+
+
+def test_find_partition_separates(scheme):
+    faults = [0, 17, 42, 300, 511]
+    selection = scheme.find_partition(faults)
+    assert selection is not None
+    ids = scheme.partition_ids(selection, np.asarray(faults))
+    assert np.unique(ids).size == len(faults)
+
+
+def test_find_partition_matches_can_correct_on_random_sets(scheme):
+    rng = np.random.default_rng(7)
+    for size in (2, 6, 10, 16, 24, 32):
+        for _ in range(25):
+            faults = rng.choice(512, size=size, replace=False)
+            assert (scheme.find_partition(faults) is not None) == scheme.can_correct(
+                faults
+            )
+
+
+def test_empty_and_single_fault(scheme):
+    assert scheme.can_correct([])
+    assert scheme.can_correct([511])
+    assert scheme.find_partition([3]) is not None
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SAFER(partitions=3)
+    with pytest.raises(ValueError):
+        SAFER(partitions=0)
+    with pytest.raises(ValueError):
+        SAFER(partitions=32, block_bits=500)
+    with pytest.raises(ValueError):
+        SAFER(partitions=1024, block_bits=512)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.integers(min_value=0, max_value=511), min_size=0, max_size=6, unique=True
+    )
+)
+def test_up_to_six_faults_always_correctable(faults):
+    assert safer32().can_correct(faults)

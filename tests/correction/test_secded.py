@@ -1,0 +1,39 @@
+"""Unit tests for the SECDED reference scheme."""
+
+import pytest
+
+from repro.correction import SECDED
+
+
+@pytest.fixture(scope="module")
+def scheme():
+    return SECDED()
+
+
+def test_configuration(scheme):
+    assert scheme.words == 8
+    assert scheme.metadata_bits == 64
+    assert scheme.deterministic_capability == 1
+    assert scheme.spare_metadata_bits(64) == 0
+
+
+def test_one_fault_per_word_ok(scheme):
+    assert scheme.can_correct([])
+    assert scheme.can_correct([0, 64, 128, 192, 256, 320, 384, 448])
+
+
+def test_two_faults_in_one_word_fail(scheme):
+    assert not scheme.can_correct([0, 63])
+    assert scheme.can_correct([0, 64])
+
+
+def test_word_boundaries(scheme):
+    assert scheme.can_correct([63, 64])  # adjacent cells, different words
+    assert not scheme.can_correct([64, 127])
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SECDED(word_bits=0)
+    with pytest.raises(ValueError):
+        SECDED(word_bits=100)  # 512 % 100 != 0

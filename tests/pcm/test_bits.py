@@ -1,0 +1,64 @@
+"""Unit tests for bit-level helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pcm import bits_to_bytes, bytes_to_bits, flip_mask, popcount
+
+
+def test_bit_order_is_little_endian_within_bytes():
+    bits = bytes_to_bits(b"\x01" + bytes(63))
+    assert bits[0] == 1
+    assert popcount(bits) == 1
+
+    bits = bytes_to_bits(b"\x80" + bytes(63))
+    assert bits[7] == 1
+
+
+def test_byte_offset_maps_to_bit_offset():
+    # Byte k occupies bits [8k, 8k+8): the property the byte-granular
+    # compression window relies on.
+    data = bytearray(64)
+    data[5] = 0xFF
+    bits = bytes_to_bits(bytes(data))
+    assert popcount(bits[40:48]) == 8
+    assert popcount(bits) == 8
+
+
+def test_roundtrip_fixed():
+    data = bytes(range(64))
+    assert bits_to_bytes(bytes_to_bits(data)) == data
+
+
+def test_bits_to_bytes_rejects_ragged_lengths():
+    with pytest.raises(ValueError):
+        bits_to_bytes(np.ones(13, dtype=np.uint8))
+
+
+def test_flip_mask_counts_differences():
+    old = bytes_to_bits(bytes(64))
+    new = bytes_to_bits(b"\x03" + bytes(63))
+    mask = flip_mask(old, new)
+    assert popcount(mask.astype(np.uint8)) == 2
+    assert mask[0] and mask[1]
+
+
+def test_flip_mask_shape_mismatch():
+    with pytest.raises(ValueError):
+        flip_mask(np.zeros(8, dtype=np.uint8), np.zeros(16, dtype=np.uint8))
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.binary(min_size=1, max_size=128))
+def test_roundtrip_random(data):
+    assert bits_to_bytes(bytes_to_bits(data)) == data
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.binary(min_size=64, max_size=64), st.binary(min_size=64, max_size=64))
+def test_flip_count_matches_xor_popcount(a, b):
+    mask = flip_mask(bytes_to_bits(a), bytes_to_bits(b))
+    expected = sum(bin(x ^ y).count("1") for x, y in zip(a, b))
+    assert int(np.count_nonzero(mask)) == expected

@@ -1,0 +1,45 @@
+"""Unit tests for device timing/energy parameters."""
+
+import pytest
+
+from repro.pcm import PCMEnergy, PCMTimings
+
+
+def test_table2_defaults():
+    timings = PCMTimings()
+    assert timings.read_ns == 48.0
+    assert timings.reset_ns == 40.0
+    assert timings.set_ns == 150.0
+    assert timings.bus_mhz == 400.0
+    assert timings.burst_length == 8
+    assert timings.t_rcd == 60
+    assert timings.t_cl == 5
+
+
+def test_cycle_time():
+    assert PCMTimings().cycle_ns == pytest.approx(2.5)
+
+
+def test_write_latency_dominated_by_set():
+    assert PCMTimings().write_ns == 150.0
+
+
+def test_latency_cycles():
+    timings = PCMTimings()
+    assert timings.read_latency_cycles() == 60 + 5 + 8
+    assert timings.write_latency_cycles() == 60 + 4 + 8
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        PCMTimings(bus_mhz=0)
+    with pytest.raises(ValueError):
+        PCMTimings(burst_length=0)
+
+
+def test_energy_accounting():
+    energy = PCMEnergy()
+    assert energy.write_energy_pj(0, 0) == 0
+    assert energy.write_energy_pj(2, 3) == pytest.approx(
+        2 * energy.set_pj_per_bit + 3 * energy.reset_pj_per_bit
+    )

@@ -1,0 +1,49 @@
+"""Unit tests for differential-write planning."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pcm import bit_flips, bytes_to_bits, flip_positions, plan_write
+
+
+def test_identical_data_needs_no_programming():
+    data = bytes(range(64))
+    assert bit_flips(data, data) == 0
+
+
+def test_flip_counts_and_directions():
+    old = bytes(64)
+    new = b"\x0f" + bytes(63)
+    plan = plan_write(bytes_to_bits(old), bytes_to_bits(new))
+    assert plan.flip_count == 4
+    assert plan.set_count == 4
+    assert plan.reset_count == 0
+
+    back = plan_write(bytes_to_bits(new), bytes_to_bits(old))
+    assert back.set_count == 0
+    assert back.reset_count == 4
+
+
+def test_flip_positions_sorted():
+    old = bytes(64)
+    new = bytearray(64)
+    new[10] = 0x01  # bit 80
+    new[2] = 0x80  # bit 23
+    positions = flip_positions(old, bytes(new))
+    assert positions.tolist() == [23, 80]
+
+
+def test_full_inversion_programs_everything():
+    assert bit_flips(bytes(64), b"\xff" * 64) == 512
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.binary(min_size=64, max_size=64), st.binary(min_size=64, max_size=64))
+def test_flips_symmetric_and_bounded(a, b):
+    forward = bit_flips(a, b)
+    assert forward == bit_flips(b, a)
+    assert 0 <= forward <= 512
+    plan = plan_write(bytes_to_bits(a), bytes_to_bits(b))
+    assert plan.set_count + plan.reset_count == forward
+    assert int(np.count_nonzero(plan.flips)) == forward

@@ -1,0 +1,81 @@
+"""Unit tests for the Flip-N-Write encoder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pcm import FlipNWrite, bytes_to_bits, naive_flip_count
+
+
+def zeros(n=512):
+    return np.zeros(n, dtype=np.uint8)
+
+
+def test_decode_inverts_encode():
+    fnw = FlipNWrite(word_bits=32)
+    old = zeros()
+    flags = np.zeros(16, dtype=np.uint8)
+    new = bytes_to_bits(bytes(range(64)))
+    result = fnw.encode(old, flags, new)
+    assert np.array_equal(fnw.decode(result.stored_bits, result.flags), new)
+
+
+def test_mostly_ones_word_is_inverted():
+    fnw = FlipNWrite(word_bits=8)
+    old = zeros(8)
+    flags = np.zeros(1, dtype=np.uint8)
+    new = np.array([1, 1, 1, 1, 1, 1, 1, 0], dtype=np.uint8)
+    result = fnw.encode(old, flags, new)
+    assert result.flags[0] == 1
+    # Inverted word has a single 1 -> one data flip + one flag flip.
+    assert result.flip_count == 2
+    assert np.array_equal(fnw.decode(result.stored_bits, result.flags), new)
+
+
+def test_never_worse_than_differential_write():
+    rng = np.random.default_rng(3)
+    fnw = FlipNWrite(word_bits=32)
+    old = rng.integers(0, 2, 512).astype(np.uint8)
+    flags = np.zeros(16, dtype=np.uint8)
+    new = rng.integers(0, 2, 512).astype(np.uint8)
+    result = fnw.encode(old, flags, new)
+    assert result.flip_count <= naive_flip_count(old, new) + 0  # flags start aligned
+
+
+def test_upper_bound_holds():
+    fnw = FlipNWrite(word_bits=32)
+    old = zeros()
+    flags = np.zeros(16, dtype=np.uint8)
+    new = np.ones(512, dtype=np.uint8)
+    result = fnw.encode(old, flags, new)
+    assert result.flip_count <= fnw.upper_bound_flips(512)
+
+
+def test_shape_validation():
+    fnw = FlipNWrite(word_bits=32)
+    with pytest.raises(ValueError):
+        fnw.encode(zeros(100), np.zeros(3, dtype=np.uint8), zeros(100))
+    with pytest.raises(ValueError):
+        fnw.encode(zeros(), np.zeros(3, dtype=np.uint8), zeros())
+    with pytest.raises(ValueError):
+        FlipNWrite(word_bits=0)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.binary(min_size=64, max_size=64),
+    st.binary(min_size=64, max_size=64),
+    st.sampled_from([8, 16, 32, 64]),
+)
+def test_roundtrip_and_bound_random(old_bytes, new_bytes, word_bits):
+    fnw = FlipNWrite(word_bits=word_bits)
+    old = bytes_to_bits(old_bytes)
+    new = bytes_to_bits(new_bytes)
+    flags = np.zeros(512 // word_bits, dtype=np.uint8)
+    result = fnw.encode(old, flags, new)
+    assert np.array_equal(fnw.decode(result.stored_bits, result.flags), new)
+    assert result.flip_count <= fnw.upper_bound_flips(512)
+    # At most half of each word's data bits are programmed.
+    data_flips = int(np.count_nonzero(result.stored_bits != old))
+    assert data_flips <= (512 // word_bits) * (word_bits // 2)

@@ -1,0 +1,70 @@
+"""Unit tests for the DIMM organization model."""
+
+import pytest
+
+from repro.pcm import (
+    CHIPS_PER_RANK,
+    DATA_CHIPS_PER_RANK,
+    ECC_BITS_PER_LINE,
+    MemoryOrganization,
+)
+
+
+def test_table2_defaults_give_4gb():
+    org = MemoryOrganization()
+    assert org.capacity_bytes == 4 * 2**30
+    assert org.total_banks == 8
+    assert org.lines_per_page == 64
+
+
+def test_rank_constants_match_ecc_dimm():
+    assert DATA_CHIPS_PER_RANK == 8
+    assert CHIPS_PER_RANK == 9
+    assert ECC_BITS_PER_LINE == 64
+
+
+def test_locate_line_roundtrip():
+    org = MemoryOrganization(rows_per_bank=16)
+    seen = set()
+    for line in range(org.total_lines):
+        location = org.locate(line)
+        assert 0 <= location.channel < org.channels
+        assert 0 <= location.bank < org.banks_per_rank
+        assert 0 <= location.row < org.rows_per_bank
+        assert org.line_of(location) == line
+        seen.add((location.channel, location.rank, location.bank, location.row))
+    assert len(seen) == org.total_lines
+
+
+def test_consecutive_lines_interleave_channels():
+    org = MemoryOrganization(rows_per_bank=16)
+    assert org.locate(0).channel != org.locate(1).channel
+
+
+def test_locate_bounds():
+    org = MemoryOrganization(rows_per_bank=4)
+    with pytest.raises(IndexError):
+        org.locate(org.total_lines)
+    with pytest.raises(IndexError):
+        org.locate(-1)
+
+
+def test_scaled_preserves_shape():
+    org = MemoryOrganization()
+    small = org.scaled(1024)
+    assert small.total_lines == 1024
+    assert small.total_banks == org.total_banks
+    assert small.channels == org.channels
+
+
+def test_scaled_requires_bank_multiple():
+    org = MemoryOrganization()
+    with pytest.raises(ValueError):
+        org.scaled(1001)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        MemoryOrganization(channels=0)
+    with pytest.raises(ValueError):
+        MemoryOrganization(page_bytes=100)

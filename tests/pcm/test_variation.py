@@ -1,0 +1,58 @@
+"""Unit tests for the endurance process-variation model."""
+
+import numpy as np
+import pytest
+
+from repro.pcm import (
+    HIGH_VARIATION_COV,
+    PAPER_ENDURANCE_COV,
+    PAPER_ENDURANCE_MEAN,
+    EnduranceModel,
+)
+
+
+def test_paper_constants():
+    assert PAPER_ENDURANCE_MEAN == 10**7
+    assert PAPER_ENDURANCE_COV == 0.15
+    assert HIGH_VARIATION_COV == 0.25
+
+
+def test_sample_statistics():
+    rng = np.random.default_rng(0)
+    model = EnduranceModel(mean=10_000, cov=0.15)
+    samples = model.sample(200_000, rng).astype(float)
+    assert samples.mean() == pytest.approx(10_000, rel=0.01)
+    assert samples.std() == pytest.approx(1_500, rel=0.05)
+
+
+def test_zero_cov_is_deterministic():
+    rng = np.random.default_rng(0)
+    model = EnduranceModel(mean=500, cov=0.0)
+    samples = model.sample((4, 8), rng)
+    assert np.all(samples == 500)
+    assert samples.shape == (4, 8)
+
+
+def test_floor_clamps_tail():
+    rng = np.random.default_rng(0)
+    model = EnduranceModel(mean=100, cov=5.0, floor_fraction=0.5)
+    samples = model.sample(10_000, rng)
+    assert samples.min() >= 50
+
+
+def test_scaled_keeps_cov():
+    model = EnduranceModel(mean=1000, cov=0.15)
+    scaled = model.scaled(0.01)
+    assert scaled.mean == 10
+    assert scaled.cov == 0.15
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        EnduranceModel(mean=0)
+    with pytest.raises(ValueError):
+        EnduranceModel(mean=10, cov=-0.1)
+    with pytest.raises(ValueError):
+        EnduranceModel(mean=10, floor_fraction=0)
+    with pytest.raises(ValueError):
+        EnduranceModel(mean=10).scaled(0)

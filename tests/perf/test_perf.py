@@ -1,0 +1,90 @@
+"""Unit tests for the latency and overhead models (Section V-B)."""
+
+import pytest
+
+from repro.perf import (
+    AccessLatency,
+    LatencyModel,
+    PerformanceModel,
+    ReadMix,
+    measure_read_mix,
+)
+from repro.traces import get_profile
+
+
+class TestLatencyModel:
+    def test_base_read_latency(self):
+        model = LatencyModel()
+        latency = model.read_latency()
+        # (tRCD + tCL + burst) * 2.5ns + 48ns array read.
+        assert latency.interface_ns == pytest.approx(73 * 2.5)
+        assert latency.array_ns == 48.0
+        assert latency.decompression_ns == 0.0
+
+    def test_decompression_penalties(self):
+        model = LatencyModel()
+        bdi = model.read_latency("bdi")
+        fpc = model.read_latency("fpc")
+        assert bdi.decompression_ns == pytest.approx(0.4)  # 1 cyc @ 2.5GHz
+        assert fpc.decompression_ns == pytest.approx(2.0)  # 5 cyc @ 2.5GHz
+        assert fpc.total_ns > bdi.total_ns > model.read_latency().total_ns
+
+    def test_write_latency_has_no_decompression(self):
+        latency = LatencyModel().write_latency()
+        assert latency.decompression_ns == 0.0
+        assert latency.array_ns == 150.0  # SET-dominated
+
+    def test_unknown_decompressor(self):
+        with pytest.raises(ValueError):
+            LatencyModel().read_latency("zstd")
+        with pytest.raises(ValueError):
+            LatencyModel(cpu_ghz=0)
+
+
+class TestReadMix:
+    def test_must_sum_to_one(self):
+        ReadMix(uncompressed=0.2, bdi=0.5, fpc=0.3)
+        with pytest.raises(ValueError):
+            ReadMix(uncompressed=0.2, bdi=0.5, fpc=0.5)
+        with pytest.raises(ValueError):
+            ReadMix(uncompressed=-0.2, bdi=0.7, fpc=0.5)
+
+    def test_measured_mix_is_valid(self):
+        mix = measure_read_mix(get_profile("milc"), samples=400, seed=0)
+        assert mix.uncompressed + mix.bdi + mix.fpc == pytest.approx(1.0)
+        # milc is highly compressible: most reads hit compressed lines.
+        assert mix.uncompressed < 0.5
+
+
+class TestPerformanceModel:
+    def test_overhead_bounded_by_worst_case(self):
+        model = PerformanceModel()
+        all_fpc = ReadMix(uncompressed=0.0, bdi=0.0, fpc=1.0)
+        worst = model.read_latency_overhead(all_fpc)
+        assert 0 < worst < 0.02  # FPC adds 2ns on a ~230ns read
+
+    def test_uncompressed_mix_has_zero_overhead(self):
+        model = PerformanceModel()
+        plain = ReadMix(uncompressed=1.0, bdi=0.0, fpc=0.0)
+        assert model.read_latency_overhead(plain) == pytest.approx(0.0)
+        assert model.slowdown(plain) == pytest.approx(0.0)
+
+    def test_section5b_claims_hold(self):
+        # Read-latency overhead <= 2% and slowdown < 0.3% for every
+        # evaluated workload.
+        model = PerformanceModel()
+        for name in ("milc", "gcc", "lbm", "sjeng"):
+            report = model.report(
+                get_profile(name), n_lines=64, samples=500, seed=1
+            )
+            assert report.read_latency_overhead <= 0.02, name
+            assert report.slowdown < 0.003, name
+
+    def test_slowdown_scales_with_cpi_fraction(self):
+        model = PerformanceModel()
+        mix = ReadMix(uncompressed=0.0, bdi=0.5, fpc=0.5)
+        low = model.slowdown(mix, memory_read_cpi_fraction=0.1)
+        high = model.slowdown(mix, memory_read_cpi_fraction=0.2)
+        assert high == pytest.approx(2 * low)
+        with pytest.raises(ValueError):
+            model.slowdown(mix, memory_read_cpi_fraction=1.5)

@@ -1,0 +1,90 @@
+"""Unit tests for the event-driven controller queueing model."""
+
+import pytest
+
+from repro.perf import (
+    MemoryControllerSim,
+    Request,
+    read_latency_overhead_queued,
+    synthesize_requests,
+)
+
+
+def test_idle_read_latency_matches_latency_model():
+    sim = MemoryControllerSim()
+    stats = sim.run([Request(0.0, 0, False)])
+    assert stats.reads == 1
+    assert stats.mean_read_latency_ns == pytest.approx(
+        sim.latency.read_latency(None).total_ns
+    )
+
+
+def test_decompression_adds_to_read_latency():
+    sim = MemoryControllerSim()
+    plain = sim.run([Request(0.0, 0, False)]).mean_read_latency_ns
+    fpc = sim.run([Request(0.0, 0, False, "fpc")]).mean_read_latency_ns
+    assert fpc == pytest.approx(plain + 2.0)  # 5 cycles at 2.5 GHz
+
+
+def test_back_to_back_reads_queue_on_one_bank():
+    sim = MemoryControllerSim()
+    service = sim.latency.read_latency(None).total_ns
+    stats = sim.run([Request(0.0, 0, False), Request(0.0, 0, False)])
+    assert stats.read_stall_events == 1
+    assert stats.total_read_latency_ns == pytest.approx(service + 2 * service)
+
+
+def test_banks_are_independent():
+    sim = MemoryControllerSim()
+    stats = sim.run([Request(0.0, 0, False), Request(0.0, 1, False)])
+    assert stats.read_stall_events == 0
+
+
+def test_write_queue_absorbs_writes_silently():
+    sim = MemoryControllerSim(write_queue_depth=32)
+    requests = [Request(float(i), 0, True) for i in range(10)]
+    requests.append(Request(10.0, 0, False))
+    stats = sim.run(requests)
+    # 10 queued writes below the drain threshold never block the read.
+    assert stats.read_stall_events == 0
+
+
+def test_write_queue_overflow_stalls_reads():
+    sim = MemoryControllerSim(write_queue_depth=4)
+    requests = [Request(float(i), 0, True) for i in range(4)]  # forces a drain
+    requests.append(Request(4.0, 0, False))
+    stats = sim.run(requests)
+    assert stats.read_stall_events == 1
+    assert stats.mean_read_latency_ns > sim.latency.read_latency(None).total_ns
+
+
+def test_synthesize_requests_mix():
+    requests = synthesize_requests(2000, read_fraction=0.7, seed=1)
+    reads = [r for r in requests if not r.is_write]
+    assert 0.6 < len(reads) / len(requests) < 0.8
+    assert any(r.decompressor == "fpc" for r in reads)
+    assert all(r.arrival_ns >= 0 for r in requests)
+    with pytest.raises(ValueError):
+        synthesize_requests(10, read_fraction=1.5)
+
+
+def test_queued_overhead_stays_small():
+    # Section V-B under queueing: decompression still costs ~<2% even
+    # with bank contention.
+    _, _, overhead = read_latency_overhead_queued(
+        n_requests=8000, mean_interarrival_ns=80.0, seed=2
+    )
+    assert 0.0 <= overhead < 0.02
+
+
+def test_percentiles_available():
+    sim = MemoryControllerSim()
+    stats = sim.run([Request(float(i * 1000), 0, False) for i in range(50)])
+    assert stats.read_latency_percentile(99) >= stats.read_latency_percentile(50)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        MemoryControllerSim(n_banks=0)
+    with pytest.raises(ValueError):
+        MemoryControllerSim(write_queue_depth=0)

@@ -1,0 +1,73 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.traces import load_trace
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["compress", "--workloads", "perlbench"])
+
+
+def test_compress_command(capsys):
+    assert main(["compress", "--workloads", "milc", "--writes", "300"]) == 0
+    out = capsys.readouterr().out
+    assert "milc" in out
+    assert "BEST" in out
+
+
+def test_flips_command(capsys):
+    assert main(["flips", "--workloads", "zeusmp", "--writes", "400"]) == 0
+    out = capsys.readouterr().out
+    assert "zeusmp" in out
+
+
+def test_perf_command(capsys):
+    assert main(["perf", "--workloads", "milc", "--samples", "100"]) == 0
+    assert "%" in capsys.readouterr().out
+
+
+def test_montecarlo_command(capsys):
+    assert main(["montecarlo", "--sizes", "32", "--trials", "10",
+                 "--schemes", "ecp6"]) == 0
+    assert "ecp6" in capsys.readouterr().out
+
+
+def test_trace_command(tmp_path, capsys):
+    path = tmp_path / "out.trace"
+    assert main(["trace", "milc", str(path), "--lines", "16",
+                 "--writes", "50"]) == 0
+    trace = load_trace(path)
+    assert len(trace) == 50
+    assert trace.workload == "milc"
+
+
+def test_lifetime_command(capsys):
+    assert main([
+        "lifetime", "--workloads", "milc", "--lines", "32",
+        "--endurance", "15", "--systems", "baseline", "comp_wf",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "milc" in out
+    assert "months" in out
+
+
+def test_report_command(tmp_path, capsys):
+    results = tmp_path / "results"
+    results.mkdir()
+    (results / "demo.txt").write_text("hello world\n")
+    assert main(["report", "--results-dir", str(results)]) == 0
+    out = capsys.readouterr().out
+    assert "demo" in out and "hello world" in out
+
+
+def test_report_command_missing_dir(tmp_path, capsys):
+    assert main(["report", "--results-dir", str(tmp_path / "nope")]) == 0
+    assert "no results" in capsys.readouterr().out

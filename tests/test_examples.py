@@ -1,0 +1,74 @@
+"""Smoke tests: every example script runs end to end.
+
+Each example is executed as a subprocess with scaled-down arguments so
+the whole module stays in CI territory.  These catch API drift between
+the library and its documented entry points.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=420):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "compression" in out
+    assert "max faults while still serving writes" in out
+
+
+def test_compression_explorer():
+    out = run_example("compression_explorer.py", "--workloads", "milc",
+                      "--writes", "600")
+    assert "milc" in out and "BEST" in out
+
+
+def test_fault_tolerance_study():
+    out = run_example("fault_tolerance_study.py", "--sizes", "32",
+                      "--trials", "25")
+    assert "ecp6" in out and "aegis17x31" in out
+
+
+def test_wear_map():
+    out = run_example("wear_map.py", "--lines", "4", "--writes", "600")
+    assert "wear imbalance" in out
+    assert "Comp+W" in out
+
+
+def test_lifetime_study():
+    out = run_example("lifetime_study.py", "--workloads", "milc",
+                      "--lines", "32", "--endurance", "15")
+    assert "milc" in out and "Comp+WF" in out
+
+
+def test_consolidation_study():
+    out = run_example("consolidation_study.py", "--lines", "32",
+                      "--endurance", "15")
+    assert "mix(milc+lbm)" in out and "Comp+WF" in out
+
+
+def test_cache_pressure_study():
+    out = run_example("cache_pressure_study.py", "--lines", "32",
+                      "--endurance", "12", "--caches", "1")
+    assert "WPKI" in out
+
+
+@pytest.mark.slow
+def test_design_space_sweep():
+    out = run_example("design_space_sweep.py", "--workload", "milc",
+                      "--lines", "24", "--endurance", "15")
+    assert "correction scheme" in out

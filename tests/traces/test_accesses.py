@@ -1,0 +1,109 @@
+"""Unit tests for the access-stream -> LLC front-end."""
+
+import numpy as np
+import pytest
+
+from repro.traces import (
+    AccessStreamGenerator,
+    CachedWorkload,
+    get_profile,
+)
+
+
+class TestAccessStreamGenerator:
+    def test_accesses_in_bounds(self):
+        generator = AccessStreamGenerator(n_lines=32, seed=0)
+        for _ in range(500):
+            access = generator.next_access()
+            assert 0 <= access.line < 32
+
+    def test_write_ratio_respected(self):
+        generator = AccessStreamGenerator(n_lines=64, write_ratio=0.3, seed=1)
+        writes = sum(generator.next_access().is_write for _ in range(4000))
+        assert 0.25 < writes / 4000 < 0.35
+
+    def test_sequential_runs_exist(self):
+        generator = AccessStreamGenerator(n_lines=256, sequential_run=6, seed=2)
+        lines = [generator.next_access().line for _ in range(2000)]
+        sequential = sum(
+            1 for a, b in zip(lines, lines[1:]) if b == (a + 1) % 256
+        )
+        assert sequential > 200  # plenty of next-line accesses
+
+    def test_hot_lines_exist(self):
+        generator = AccessStreamGenerator(n_lines=512, zipf_alpha=1.0, seed=3)
+        lines = [generator.next_access().line for _ in range(5000)]
+        _, counts = np.unique(lines, return_counts=True)
+        assert counts.max() > 5 * np.median(counts)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AccessStreamGenerator(n_lines=0)
+        with pytest.raises(ValueError):
+            AccessStreamGenerator(n_lines=4, write_ratio=2.0)
+        with pytest.raises(ValueError):
+            AccessStreamGenerator(n_lines=4, sequential_run=0)
+
+
+class TestCachedWorkload:
+    def make(self, capacity=4 * 1024, seed=0):
+        return CachedWorkload(
+            get_profile("mcf"), n_lines=256,
+            cache_capacity_bytes=capacity, seed=seed,
+        )
+
+    def test_produces_valid_writebacks(self):
+        workload = self.make()
+        for _ in range(100):
+            write = workload.next_write()
+            assert 0 <= write.line < 256
+            assert len(write.data) == 64
+
+    def test_bigger_cache_filters_more(self):
+        small = self.make(capacity=2 * 1024, seed=4)
+        large = self.make(capacity=8 * 1024, seed=4)
+        for workload in (small, large):
+            for _ in range(150):
+                workload.next_write()
+        assert large.accesses_issued > small.accesses_issued  # fewer evictions
+        assert large.measured_wpki() < small.measured_wpki()
+
+    def test_wpki_positive_after_run(self):
+        workload = self.make()
+        assert workload.measured_wpki() == 0.0
+        for _ in range(50):
+            workload.next_write()
+        assert workload.measured_wpki() > 0
+
+    def test_runs_through_lifetime_simulator(self):
+        from repro.core import comp_wf
+        from repro.lifetime import LifetimeSimulator
+
+        # The cache (8 entries) must be far smaller than the working
+        # set (32 lines) or no write-backs ever reach the PCM.
+        workload = CachedWorkload(
+            get_profile("milc"), n_lines=32,
+            cache_capacity_bytes=512, cache_ways=2, seed=5,
+        )
+        simulator = LifetimeSimulator(
+            config=comp_wf(), source=workload, n_lines=32,
+            endurance_mean=15, seed=6,
+        )
+        result = simulator.run(max_writes=400_000)
+        assert result.failed
+        assert result.workload == "cached(milc)"
+
+    def test_oversized_cache_raises_instead_of_spinning(self):
+        workload = CachedWorkload(
+            get_profile("milc"), n_lines=8,
+            cache_capacity_bytes=64 * 1024, seed=7,
+        )
+        with pytest.raises(RuntimeError, match="no write-backs"):
+            workload.next_write()
+
+    def test_write_to_rejects_bad_line(self):
+        from repro.traces import SyntheticWorkload
+
+        generator = SyntheticWorkload(get_profile("mcf"), n_lines=8, seed=0)
+        with pytest.raises(IndexError):
+            generator.write_to(8)

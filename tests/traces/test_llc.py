@@ -1,0 +1,103 @@
+"""Unit tests for the write-back LLC model."""
+
+import pytest
+
+from repro.traces import WritebackCache
+
+
+def small_cache(ways=2, sets=4):
+    return WritebackCache(capacity_bytes=ways * sets * 64, line_bytes=64, ways=ways)
+
+
+def payload(tag):
+    return bytes([tag]) * 64
+
+
+def test_geometry():
+    cache = WritebackCache(capacity_bytes=4 * 2**20, line_bytes=64, ways=8)
+    assert cache.sets == 4 * 2**20 // 64 // 8
+
+
+def test_read_miss_then_hit():
+    cache = small_cache()
+    assert cache.access(0) is None  # miss, clean fill
+    assert cache.access(0) is None  # hit
+    assert cache.stats.accesses == 2
+    assert cache.stats.hits == 1
+    assert cache.stats.reads_to_memory == 1
+
+
+def test_dirty_eviction_produces_writeback():
+    cache = small_cache(ways=2, sets=1)
+    cache.access(0, payload(1))
+    cache.access(1, payload(2))
+    evicted = cache.access(2)  # evicts line 0 (LRU), which is dirty
+    assert evicted is not None
+    assert evicted.line == 0
+    assert evicted.data == payload(1)
+    assert cache.stats.writebacks == 1
+
+
+def test_clean_eviction_is_silent():
+    cache = small_cache(ways=2, sets=1)
+    cache.access(0)
+    cache.access(1)
+    assert cache.access(2) is None  # line 0 clean, dropped silently
+    assert cache.stats.writebacks == 0
+
+
+def test_lru_updated_on_hit():
+    cache = small_cache(ways=2, sets=1)
+    cache.access(0, payload(1))
+    cache.access(1, payload(2))
+    cache.access(0)  # touch 0 so 1 becomes LRU
+    evicted = cache.access(2)
+    assert evicted.line == 1
+
+
+def test_write_hit_marks_dirty():
+    cache = small_cache(ways=2, sets=1)
+    cache.access(0)  # clean fill
+    cache.access(0, payload(9))  # write hit
+    cache.access(1)
+    evicted = cache.access(2)
+    assert evicted.line == 0
+    assert evicted.data == payload(9)
+
+
+def test_set_mapping_isolates_conflicts():
+    cache = small_cache(ways=1, sets=4)
+    cache.access(0, payload(1))
+    cache.access(1, payload(2))  # different set, no eviction
+    assert cache.stats.writebacks == 0
+    evicted = cache.access(4, payload(3))  # same set as line 0
+    assert evicted.line == 0
+
+
+def test_flush_drains_dirty_lines():
+    cache = small_cache()
+    cache.access(0, payload(1))
+    cache.access(1, payload(2))
+    cache.access(2)
+    flushed = cache.flush()
+    assert {write.line for write in flushed} == {0, 1}
+    assert cache.flush() == []
+
+
+def test_hit_rate():
+    cache = small_cache()
+    for _ in range(4):
+        cache.access(0)
+    assert cache.stats.hit_rate == pytest.approx(0.75)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        WritebackCache(capacity_bytes=0)
+    with pytest.raises(ValueError):
+        WritebackCache(capacity_bytes=100, line_bytes=64, ways=3)
+    cache = small_cache()
+    with pytest.raises(ValueError):
+        cache.access(-1)
+    with pytest.raises(ValueError):
+        cache.access(0, b"short")

@@ -1,0 +1,106 @@
+"""Unit tests for multiprogrammed workload mixes."""
+
+import numpy as np
+import pytest
+
+from repro.traces import MixMember, MixedWorkload, get_profile
+
+
+def two_way(n_lines=64, seed=0, shares=(1.0, 1.0)):
+    return MixedWorkload(
+        [
+            MixMember(get_profile("milc"), share=shares[0]),
+            MixMember(get_profile("lbm"), share=shares[1]),
+        ],
+        n_lines=n_lines,
+        seed=seed,
+    )
+
+
+def test_writes_stay_in_bounds():
+    mix = two_way()
+    for write in mix.iter_writes(500):
+        assert 0 <= write.line < 64
+        assert len(write.data) == 64
+
+
+def test_partitions_are_disjoint():
+    mix = two_way(n_lines=64)
+    milc_lines = set()
+    lbm_lines = set()
+    # milc occupies the first half of the address space, lbm the rest.
+    for write in mix.iter_writes(3000):
+        (milc_lines if write.line < 32 else lbm_lines).add(write.line)
+    assert milc_lines and lbm_lines
+    assert max(milc_lines) < 32 <= min(lbm_lines)
+
+
+def test_traffic_weighted_by_wpki():
+    mix = two_way(n_lines=64, seed=1)
+    lbm_writes = sum(1 for write in mix.iter_writes(4000) if write.line >= 32)
+    # lbm's WPKI (15.6) dwarfs milc's (3.4): expect ~82% of the traffic.
+    assert 0.7 < lbm_writes / 4000 < 0.95
+
+
+def test_shares_control_partition_sizes():
+    mix = MixedWorkload(
+        [
+            MixMember(get_profile("milc"), share=3.0),
+            MixMember(get_profile("lbm"), share=1.0),
+        ],
+        n_lines=64,
+        seed=2,
+    )
+    milc_max = max(
+        write.line for write in mix.iter_writes(3000) if write.line < 48
+    )
+    assert milc_max < 48  # milc got ~3/4 of the lines
+
+
+def test_name_and_members():
+    mix = two_way()
+    assert mix.name == "mix(milc+lbm)"
+    assert len(mix.members) == 2
+
+
+def test_generate_trace():
+    trace = two_way().generate_trace(200)
+    assert len(trace) == 200
+    assert trace.workload == "mix(milc+lbm)"
+
+
+def test_runs_through_lifetime_simulator():
+    from repro.core import comp_wf
+    from repro.lifetime import LifetimeSimulator
+
+    simulator = LifetimeSimulator(
+        config=comp_wf(),
+        source=two_way(n_lines=32, seed=3),
+        n_lines=32,
+        endurance_mean=20,
+        seed=4,
+    )
+    result = simulator.run(max_writes=600_000)
+    assert result.failed
+    assert result.workload == "mix(milc+lbm)"
+
+
+def test_compressibility_is_heterogeneous():
+    from repro.compression import BestOfCompressor
+
+    best = BestOfCompressor()
+    mix = two_way(n_lines=64, seed=5)
+    milc_sizes, lbm_sizes = [], []
+    for write in mix.iter_writes(2500):
+        size = best.compress(write.data).size_bytes
+        (milc_sizes if write.line < 32 else lbm_sizes).append(size)
+    assert np.mean(milc_sizes) < np.mean(lbm_sizes)  # milc compresses better
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        MixedWorkload([], n_lines=16)
+    with pytest.raises(ValueError):
+        MixMember(get_profile("milc"), share=0)
+    with pytest.raises(ValueError):
+        MixedWorkload([MixMember(get_profile("milc"))] * 5, n_lines=3)

@@ -1,0 +1,76 @@
+"""Unit tests for trace containers and IO."""
+
+import pytest
+
+from repro.traces import (
+    Trace,
+    TraceFormatError,
+    WriteBack,
+    load_trace,
+    save_trace,
+)
+
+
+def make_trace():
+    trace = Trace(workload="demo", n_lines=8)
+    trace.append(WriteBack(line=0, data=bytes(64)))
+    trace.append(WriteBack(line=3, data=bytes(range(64))))
+    trace.append(WriteBack(line=3, data=b"\xff" * 64))
+    return trace
+
+
+def test_writeback_validation():
+    with pytest.raises(ValueError):
+        WriteBack(line=-1, data=bytes(64))
+    with pytest.raises(ValueError):
+        WriteBack(line=0, data=bytes(10))
+
+
+def test_trace_append_bounds():
+    trace = Trace(workload="demo", n_lines=2)
+    with pytest.raises(ValueError):
+        trace.append(WriteBack(line=2, data=bytes(64)))
+
+
+def test_trace_accessors():
+    trace = make_trace()
+    assert len(trace) == 3
+    assert trace[1].line == 3
+    assert trace.lines_touched() == {0, 3}
+    assert trace.writes_per_line() == {0: 1, 3: 2}
+    assert [write.line for write in trace] == [0, 3, 3]
+
+
+def test_roundtrip_io(tmp_path):
+    trace = make_trace()
+    path = tmp_path / "demo.trace"
+    save_trace(trace, path)
+    loaded = load_trace(path)
+    assert loaded.workload == trace.workload
+    assert loaded.n_lines == trace.n_lines
+    assert list(loaded) == list(trace)
+
+
+def test_load_rejects_garbage(tmp_path):
+    path = tmp_path / "bad.trace"
+    path.write_bytes(b"not a trace at all")
+    with pytest.raises(TraceFormatError):
+        load_trace(path)
+
+
+def test_load_rejects_truncation(tmp_path):
+    trace = make_trace()
+    path = tmp_path / "trunc.trace"
+    save_trace(trace, path)
+    data = path.read_bytes()
+    path.write_bytes(data[:-10])
+    with pytest.raises(TraceFormatError):
+        load_trace(path)
+
+
+def test_unicode_workload_names(tmp_path):
+    trace = Trace(workload="hämmer", n_lines=4)
+    trace.append(WriteBack(line=1, data=bytes(64)))
+    path = tmp_path / "unicode.trace"
+    save_trace(trace, path)
+    assert load_trace(path).workload == "hämmer"

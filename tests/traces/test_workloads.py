@@ -1,0 +1,96 @@
+"""Unit tests for workload profiles (Table III data)."""
+
+import numpy as np
+import pytest
+
+from repro.traces import (
+    PROFILES,
+    WORKLOAD_ORDER,
+    CompressibilityClass,
+    SizeShape,
+    WorkloadProfile,
+    get_profile,
+    tilted_weights,
+)
+
+
+def test_fifteen_workloads():
+    assert len(PROFILES) == 15
+    assert set(WORKLOAD_ORDER) == set(PROFILES)
+
+
+def test_table3_values_spotcheck():
+    assert PROFILES["lbm"].wpki == 15.6
+    assert PROFILES["lbm"].cr == 0.79
+    assert PROFILES["cactusADM"].cr == 0.03
+    assert PROFILES["mcf"].wpki == 10.35
+    assert PROFILES["sjeng"].cr == 0.08
+
+
+def test_compressibility_classes_match_table3():
+    # H: CR < 0.3; L: CR >= 0.7; M otherwise.
+    for profile in PROFILES.values():
+        if profile.cr < 0.3:
+            assert profile.comp_class is CompressibilityClass.HIGH, profile.name
+        elif profile.cr >= 0.7:
+            assert profile.comp_class is CompressibilityClass.LOW, profile.name
+        else:
+            assert profile.comp_class is CompressibilityClass.MEDIUM, profile.name
+
+
+def test_high_class_membership():
+    high = {n for n, p in PROFILES.items() if p.comp_class is CompressibilityClass.HIGH}
+    assert high == {"cactusADM", "milc", "sjeng", "zeusmp"}
+
+
+def test_volatile_apps_have_high_size_change():
+    # Figure 6's outliers.
+    assert PROFILES["bzip2"].size_change_prob > 0.6
+    assert PROFILES["gcc"].size_change_prob > 0.6
+    assert PROFILES["hmmer"].size_change_prob < 0.2
+
+
+def test_mean_compressed_bytes():
+    assert PROFILES["gcc"].mean_compressed_bytes == pytest.approx(32.0)
+
+
+def test_size_class_distribution_mean():
+    for profile in PROFILES.values():
+        classes, weights = profile.size_class_distribution()
+        assert weights.sum() == pytest.approx(1.0)
+        assert classes @ weights == pytest.approx(
+            profile.mean_compressed_bytes, abs=1e-6
+        )
+
+
+def test_tilted_weights_edge_cases():
+    classes = np.array([1.0, 10.0, 64.0])
+    for target in (2.0, 25.0, 60.0):
+        weights = tilted_weights(classes, target)
+        assert np.all(weights > 0)
+        assert classes @ weights == pytest.approx(target, abs=1e-6)
+    with pytest.raises(ValueError):
+        tilted_weights(classes, 0.5)
+    with pytest.raises(ValueError):
+        tilted_weights(classes, 65.0)
+
+
+def test_get_profile():
+    assert get_profile("milc").name == "milc"
+    with pytest.raises(ValueError, match="unknown workload"):
+        get_profile("perlbench")
+
+
+def test_profile_validation():
+    kwargs = dict(
+        name="x", wpki=1.0, cr=0.5, comp_class=CompressibilityClass.MEDIUM,
+        shape=SizeShape.MID, size_change_prob=0.5, jump_prob=0.5,
+        bdi_fraction=0.5, turbulence=0.5,
+    )
+    WorkloadProfile(**kwargs)  # valid
+    with pytest.raises(ValueError):
+        WorkloadProfile(**{**kwargs, "cr": 0.0})
+    with pytest.raises(ValueError):
+        WorkloadProfile(**{**kwargs, "wpki": 0.0})
+    with pytest.raises(ValueError):
+        WorkloadProfile(**{**kwargs, "turbulence": 1.5})

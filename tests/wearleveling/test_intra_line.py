@@ -1,0 +1,65 @@
+"""Unit tests for intra-line wear-leveling."""
+
+import pytest
+
+from repro.wearleveling import IntraLineWearLeveler
+
+
+def test_initial_offsets_zero():
+    wl = IntraLineWearLeveler(n_banks=4)
+    assert [wl.offset(b) for b in range(4)] == [0, 0, 0, 0]
+
+
+def test_rotation_after_counter_saturation():
+    wl = IntraLineWearLeveler(n_banks=2, counter_bits=4, step_bytes=1)
+    for _ in range(15):
+        assert not wl.record_write(0)
+    assert wl.record_write(0)  # 16th write saturates the 4-bit counter
+    assert wl.offset(0) == 1
+    assert wl.offset(1) == 0  # banks are independent
+
+
+def test_offset_wraps_around_line():
+    wl = IntraLineWearLeveler(n_banks=1, counter_bits=1, step_bytes=16, line_bytes=64)
+    rotations = 0
+    for _ in range(2 * 5):
+        rotations += wl.record_write(0)
+    assert rotations == 5
+    assert wl.offset(0) == (5 * 16) % 64
+
+
+def test_default_parameters_match_paper():
+    # 16-bit counters with a one-byte step (Section III-A.2).
+    wl = IntraLineWearLeveler(n_banks=1)
+    assert wl.counter_limit == 2**16
+    assert wl.step_bytes == 1
+    assert wl.line_bytes == 64
+
+
+def test_writes_until_rotation():
+    wl = IntraLineWearLeveler(n_banks=1, counter_bits=3)
+    assert wl.writes_until_rotation(0) == 8
+    wl.record_write(0)
+    assert wl.writes_until_rotation(0) == 7
+
+
+def test_uniform_coverage_over_long_run():
+    wl = IntraLineWearLeveler(n_banks=1, counter_bits=2, step_bytes=1, line_bytes=8)
+    seen = set()
+    for _ in range(4 * 8):
+        wl.record_write(0)
+        seen.add(wl.offset(0))
+    assert seen == set(range(8))
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        IntraLineWearLeveler(n_banks=0)
+    with pytest.raises(ValueError):
+        IntraLineWearLeveler(n_banks=1, counter_bits=0)
+    with pytest.raises(ValueError):
+        IntraLineWearLeveler(n_banks=1, step_bytes=0)
+    with pytest.raises(ValueError):
+        IntraLineWearLeveler(n_banks=1, step_bytes=64, line_bytes=64)
+    with pytest.raises(IndexError):
+        IntraLineWearLeveler(n_banks=1).offset(1)

@@ -1,0 +1,111 @@
+"""Unit tests for region-based Start-Gap."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.wearleveling import RegionStartGap
+
+
+def drive(remapper, writes, rng_lines):
+    """Issue writes to given lines, applying movements to shadow data."""
+    data = {remapper.map(line): line for line in range(remapper.n_lines)}
+    for step in range(writes):
+        line = rng_lines[step % len(rng_lines)]
+        movement = remapper.on_write(line)
+        if movement is not None:
+            data[movement.destination] = data.pop(movement.source)
+    return data
+
+
+def test_physical_layout_one_spare_per_region():
+    remapper = RegionStartGap(n_lines=12, psi=1, regions=4)
+    assert remapper.physical_lines == 16
+
+
+def test_initial_mapping_is_bijective():
+    remapper = RegionStartGap(n_lines=10, psi=1, regions=3)
+    physicals = [remapper.map(line) for line in range(10)]
+    assert len(set(physicals)) == 10
+
+
+def test_uneven_division_handled():
+    remapper = RegionStartGap(n_lines=10, psi=1, regions=3)
+    # Region sizes 4, 3, 3.
+    assert remapper._sizes == [4, 3, 3]
+    for line in range(10):
+        assert remapper.logical_of(remapper.map(line)) == line
+
+
+def test_data_tracks_mapping():
+    remapper = RegionStartGap(n_lines=9, psi=1, regions=3)
+    data = drive(remapper, 200, list(range(9)))
+    for line in range(9):
+        assert data[remapper.map(line)] == line
+
+
+def test_regions_move_independently():
+    remapper = RegionStartGap(n_lines=8, psi=2, regions=2)
+    # Write only to region 0's lines: only its gap should move.
+    for _ in range(10):
+        remapper.on_write(0)
+    assert remapper._gaps[0].gap_moves == 5
+    assert remapper._gaps[1].gap_moves == 0
+
+
+def test_movements_stay_within_region():
+    remapper = RegionStartGap(n_lines=8, psi=1, regions=2)
+    for _ in range(30):
+        movement = remapper.on_write(6)  # region 1
+        if movement is not None:
+            assert movement.source >= 5  # region 1's physical base
+            assert movement.destination >= 5
+
+
+def test_bounds():
+    remapper = RegionStartGap(n_lines=8, psi=1, regions=2)
+    with pytest.raises(IndexError):
+        remapper.map(8)
+    with pytest.raises(IndexError):
+        remapper.logical_of(10)
+    with pytest.raises(ValueError):
+        RegionStartGap(n_lines=2, psi=1, regions=4)
+    with pytest.raises(ValueError):
+        RegionStartGap(n_lines=8, psi=1, regions=0)
+
+
+def test_controller_accepts_regions():
+    import numpy as np
+
+    from repro.core import CompressedPCMController, comp_wf
+    from repro.pcm import EnduranceModel
+
+    controller = CompressedPCMController(
+        config=comp_wf(start_gap_regions=4, start_gap_psi=10),
+        n_lines=16,
+        endurance_model=EnduranceModel(mean=1000, cov=0.0),
+        rng=np.random.default_rng(0),
+    )
+    rng = np.random.default_rng(1)
+    last = {}
+    for _ in range(400):
+        line = int(rng.integers(0, 16))
+        data = rng.bytes(64)
+        controller.write(line, data)
+        last[line] = data
+    for line, expected in last.items():
+        assert controller.read(line) == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=12),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=0, max_value=150),
+)
+def test_mapping_consistency_random(n_lines, regions, writes):
+    regions = min(regions, n_lines)
+    remapper = RegionStartGap(n_lines=n_lines, psi=1, regions=regions)
+    data = drive(remapper, writes, list(range(n_lines)))
+    for line in range(n_lines):
+        assert data[remapper.map(line)] == line

@@ -1,0 +1,110 @@
+"""Unit tests for Start-Gap inter-line wear-leveling."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.wearleveling import StartGap
+
+
+def drive(start_gap, writes):
+    """Issue writes, applying movements to a shadow data array."""
+    data = {start_gap.map(line): line for line in range(start_gap.n_lines)}
+    for _ in range(writes):
+        movement = start_gap.on_write()
+        if movement is not None:
+            data[movement.destination] = data.pop(movement.source)
+    return data
+
+
+def test_initial_mapping_is_identity():
+    sg = StartGap(n_lines=8, psi=10)
+    assert [sg.map(line) for line in range(8)] == list(range(8))
+    assert sg.physical_lines == 9
+
+
+def test_mapping_stays_bijective_forever():
+    sg = StartGap(n_lines=8, psi=1)
+    for _ in range(100):
+        sg.on_write()
+        physicals = [sg.map(line) for line in range(8)]
+        assert len(set(physicals)) == 8
+        assert sg.gap not in physicals
+        assert all(0 <= p < 9 for p in physicals)
+
+
+def test_data_tracks_mapping_through_moves():
+    """The mapping always points at the slot the data was copied to."""
+    sg = StartGap(n_lines=8, psi=1)
+    data = drive(sg, 200)
+    for line in range(8):
+        assert data[sg.map(line)] == line
+
+
+def test_wrap_advances_start():
+    sg = StartGap(n_lines=4, psi=1)
+    assert sg.start == 0
+    drive(sg, 5)  # four down-moves plus the cyclic wrap
+    assert sg.start == 1
+    assert sg.gap == 4
+
+
+def test_every_line_visits_every_slot():
+    sg = StartGap(n_lines=4, psi=1)
+    visited = {line: set() for line in range(4)}
+    for _ in range(4 * 5 * 3):  # several full gap rotations
+        sg.on_write()
+        for line in range(4):
+            visited[line].add(sg.map(line))
+    for line, slots in visited.items():
+        assert slots == set(range(5)), f"line {line} missed slots"
+
+
+def test_psi_controls_movement_rate():
+    sg = StartGap(n_lines=8, psi=10)
+    movements = sum(1 for _ in range(100) if sg.on_write() is not None)
+    assert movements == 10
+    assert sg.gap_moves == 10
+
+
+def test_logical_of_inverts_map():
+    sg = StartGap(n_lines=8, psi=1)
+    drive(sg, 37)
+    for line in range(8):
+        assert sg.logical_of(sg.map(line)) == line
+    assert sg.logical_of(sg.gap) is None
+
+
+def test_bounds():
+    sg = StartGap(n_lines=4, psi=1)
+    with pytest.raises(IndexError):
+        sg.map(4)
+    with pytest.raises(IndexError):
+        sg.map(-1)
+    with pytest.raises(IndexError):
+        sg.logical_of(5)
+    with pytest.raises(ValueError):
+        StartGap(n_lines=0)
+    with pytest.raises(ValueError):
+        StartGap(n_lines=4, psi=0)
+
+
+def test_write_overhead_is_one_per_psi():
+    # Start-Gap's extra-write overhead is 1/psi (paper reports <1% at
+    # psi=100).
+    sg = StartGap(n_lines=16, psi=100)
+    moves = sum(1 for _ in range(10_000) if sg.on_write() is not None)
+    assert moves == 100
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=12),
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=0, max_value=300),
+)
+def test_mapping_consistency_random(n_lines, psi, writes):
+    sg = StartGap(n_lines=n_lines, psi=psi)
+    data = drive(sg, writes)
+    for line in range(n_lines):
+        assert data[sg.map(line)] == line
