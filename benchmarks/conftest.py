@@ -8,19 +8,23 @@ so the numbers survive the run.
 
 Scale knobs (environment variables):
 
-=====================  =======  ==========================================
-variable               default  meaning
-=====================  =======  ==========================================
-``REPRO_BENCH_LINES``  96       memory size (lines) for lifetime studies
-``REPRO_BENCH_END``    60       mean cell endurance (writes) for lifetime
-``REPRO_BENCH_TRIALS`` 150      Monte Carlo trials per Figure 9 point
-``REPRO_BENCH_WRITES`` 4000     write-back samples for statistics figures
-=====================  =======  ==========================================
+======================  =======  =========================================
+variable                default  meaning
+======================  =======  =========================================
+``REPRO_BENCH_LINES``   96       memory size (lines) for lifetime studies
+``REPRO_BENCH_END``     60       mean cell endurance (writes) for lifetime
+``REPRO_BENCH_TRIALS``  150      Monte Carlo trials per Figure 9 point
+``REPRO_BENCH_WRITES``  4000     write-back samples for statistics figures
+``REPRO_BENCH_WORKERS`` 1        worker processes for the lifetime grids
+======================  =======  =========================================
 
 The defaults finish the whole harness in tens of minutes on a laptop;
 raise them for tighter confidence intervals.  Figure 10's lifetime study
 is the expensive piece and is shared with Figure 12 and Table IV through
-the ``shared_cache`` fixture.
+the ``shared_cache`` fixture; set ``REPRO_BENCH_WORKERS`` to fan its
+(workload x system) grid across processes via
+:class:`repro.engine.SweepRunner` -- results are identical to the
+serial run (shared-seed mode), only wall-clock changes.
 """
 
 from __future__ import annotations
@@ -48,6 +52,7 @@ def bench_scale():
         "endurance_mean": env_int("REPRO_BENCH_END", 60),
         "trials": env_int("REPRO_BENCH_TRIALS", 150),
         "writes": env_int("REPRO_BENCH_WRITES", 4000),
+        "workers": env_int("REPRO_BENCH_WORKERS", 1),
     }
 
 

@@ -19,6 +19,7 @@ def test_fig10_normalized_lifetime(benchmark, report, bench_scale, shared_cache)
             n_lines=bench_scale["n_lines"],
             endurance_mean=bench_scale["endurance_mean"],
             seed=0,
+            workers=bench_scale["workers"],
         )
 
     studies = benchmark.pedantic(measure, rounds=1, iterations=1)

@@ -18,6 +18,7 @@ def test_fig12_faults_tolerated_per_block(benchmark, report, bench_scale, shared
                 n_lines=bench_scale["n_lines"],
                 endurance_mean=bench_scale["endurance_mean"],
                 seed=0,
+                workers=bench_scale["workers"],
             )
         return {
             name: (

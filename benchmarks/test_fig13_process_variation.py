@@ -14,6 +14,7 @@ def test_fig13_high_process_variation(benchmark, report, bench_scale, shared_cac
             n_lines=bench_scale["n_lines"],
             endurance_mean=bench_scale["endurance_mean"],
             seed=0,
+            workers=bench_scale["workers"],
         )
 
     studies = benchmark.pedantic(measure, rounds=1, iterations=1)

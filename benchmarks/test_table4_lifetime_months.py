@@ -32,6 +32,7 @@ def test_table4_lifetime_months(benchmark, report, bench_scale, shared_cache):
                 n_lines=bench_scale["n_lines"],
                 endurance_mean=bench_scale["endurance_mean"],
                 seed=0,
+                workers=bench_scale["workers"],
             )
         return {
             name: (studies[name].months("baseline"), studies[name].months("comp_wf"))

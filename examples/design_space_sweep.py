@@ -6,7 +6,9 @@ reports lifetime (writes to 50%-capacity failure) plus flips per write:
 
 * the Figure 8 thresholds (Threshold1 / Threshold2);
 * the Start-Gap period psi;
-* the correction scheme (ECP-6 / SAFER-32 / Aegis 17x31).
+* the correction scheme (ECP-6 / SAFER-32 / Aegis 17x31);
+* the registered comp_wf ablation/extension variants
+  (``python -m repro systems`` lists them).
 
 Examples:
   python examples/design_space_sweep.py --workload bzip2
@@ -15,6 +17,7 @@ Examples:
 
 import argparse
 
+from repro.engine import get_system, system_names
 from repro.lifetime import build_simulator
 from repro.traces import WORKLOAD_ORDER
 
@@ -28,9 +31,9 @@ def parse_args() -> argparse.Namespace:
     return parser.parse_args()
 
 
-def run(args, **overrides):
+def run(args, system="comp_wf", **overrides):
     simulator = build_simulator(
-        "comp_wf",
+        system,
         args.workload,
         n_lines=args.lines,
         endurance_mean=args.endurance,
@@ -63,6 +66,13 @@ def main() -> None:
         result = run(args, correction_scheme=scheme)
         print(f"  {scheme:12}: writes={result.writes_issued:8d}  "
               f"faults/dead block={result.avg_faults_per_dead_block:5.1f}")
+
+    print("\nregistered comp_wf variants (see `python -m repro systems`):")
+    variants = [n for n in system_names() if n.startswith("comp_wf")]
+    for name in variants:
+        result = run(args, system=name)
+        print(f"  {name:20}: writes={result.writes_issued:8d}  "
+              f"({get_system(name).description})")
 
 
 if __name__ == "__main__":

@@ -20,10 +20,12 @@ from . import (
     compression,
     core,
     correction,
+    engine,
     faultinjection,
     lifetime,
     pcm,
     perf,
+    rng,
     traces,
     wearleveling,
 )
@@ -34,10 +36,12 @@ __all__ = [
     "compression",
     "core",
     "correction",
+    "engine",
     "faultinjection",
     "lifetime",
     "pcm",
     "perf",
+    "rng",
     "traces",
     "wearleveling",
 ]

@@ -52,8 +52,13 @@ def run_workload_study(
     endurance_cov: float = PAPER_ENDURANCE_COV,
     seed: int = 0,
     max_writes: int = 4_000_000,
+    workers: int = 1,
 ) -> WorkloadStudy:
-    """One Figure 10 column group (all systems, one workload)."""
+    """One Figure 10 column group (all systems, one workload).
+
+    ``workers > 1`` parallelizes the per-system runs through
+    :class:`~repro.engine.SweepRunner` with identical results.
+    """
     results = run_system_comparison(
         workload,
         systems=systems,
@@ -62,6 +67,7 @@ def run_workload_study(
         endurance_cov=endurance_cov,
         seed=seed,
         max_writes=max_writes,
+        workers=workers,
     )
     unfinished = [name for name, result in results.items() if not result.failed]
     if unfinished:
@@ -76,9 +82,38 @@ def run_full_study(
     workloads: tuple[str, ...] = WORKLOAD_ORDER,
     systems: tuple[str, ...] = EVALUATED_SYSTEMS,
     endurance_cov: float = PAPER_ENDURANCE_COV,
+    workers: int = 1,
     **kwargs,
 ) -> dict[str, WorkloadStudy]:
-    """Figure 10 (cov=0.15) or Figure 13 (cov=0.25) across workloads."""
+    """Figure 10 (cov=0.15) or Figure 13 (cov=0.25) across workloads.
+
+    With ``workers > 1`` the whole (workload x system) grid is fanned
+    out at once through :class:`~repro.engine.SweepRunner` -- the grid
+    (not each column group) is the right parallelism unit, since every
+    run is independent.  Results are identical to the serial path.
+    """
+    if workers != 1:
+        from ..engine.sweep import SweepRunner
+
+        runner = SweepRunner(
+            systems=tuple(systems),
+            workers=workers,
+            n_lines=kwargs.get("n_lines", 96),
+            endurance_mean=kwargs.get("endurance_mean", 60.0),
+            endurance_cov=endurance_cov,
+            max_writes=kwargs.get("max_writes", 4_000_000),
+        )
+        grid = runner.run(workloads, seed=kwargs.get("seed", 0))
+        studies = {}
+        for workload, results in grid.items():
+            unfinished = [n for n, r in results.items() if not r.failed]
+            if unfinished:
+                raise RuntimeError(
+                    f"runs did not reach the failure criterion: {unfinished}; "
+                    "raise max_writes or shrink the memory"
+                )
+            studies[workload] = WorkloadStudy(workload=workload, results=results)
+        return studies
     return {
         workload: run_workload_study(
             workload, systems=systems, endurance_cov=endurance_cov, **kwargs

@@ -9,6 +9,7 @@ Subcommands map to the paper's experiments:
 ``flips``       Figure 5 flip-direction split per workload
 ``perf``        Section V-B read-latency / slowdown model
 ``trace``       generate and save a synthetic write-back trace
+``systems``     list registered ``SystemSpec``s and their stages
 ==============  =====================================================
 """
 
@@ -28,9 +29,17 @@ from .analysis import (
 )
 from .core import EVALUATED_SYSTEMS
 from .correction import PAPER_SCHEMES, make_scheme
+from .engine import list_systems, system_names
 from .faultinjection import tolerable_faults
 from .perf import PerformanceModel
 from .traces import WORKLOAD_ORDER, SyntheticWorkload, get_profile, save_trace
+
+
+def _positive_int(value: str) -> int:
+    parsed = int(value)
+    if parsed < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return parsed
 
 
 def _add_workloads_option(parser: argparse.ArgumentParser, default: list[str]) -> None:
@@ -53,11 +62,15 @@ def build_parser() -> argparse.ArgumentParser:
     lifetime = subparsers.add_parser("lifetime", help="Figure 10 / Table IV")
     _add_workloads_option(lifetime, ["milc", "gcc"])
     lifetime.add_argument("--systems", nargs="+", default=list(EVALUATED_SYSTEMS),
-                          choices=EVALUATED_SYSTEMS)
+                          choices=system_names(), metavar="SYSTEM",
+                          help="registered systems (see `repro systems`)")
     lifetime.add_argument("--lines", type=int, default=96)
     lifetime.add_argument("--endurance", type=float, default=60.0)
     lifetime.add_argument("--cov", type=float, default=0.15)
     lifetime.add_argument("--seed", type=int, default=0)
+    lifetime.add_argument("--workers", type=_positive_int, default=1,
+                          help="worker processes for the (workload x system) "
+                          "sweep (1 = serial; same results either way)")
 
     montecarlo = subparsers.add_parser("montecarlo", help="Figure 9 crossings")
     montecarlo.add_argument("--sizes", nargs="+", type=int, default=[16, 32, 64])
@@ -86,6 +99,15 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--writes", type=int, default=100_000)
     trace.add_argument("--seed", type=int, default=0)
 
+    systems = subparsers.add_parser(
+        "systems", help="list registered SystemSpecs and their stages"
+    )
+    systems.add_argument("--tag", default=None,
+                         choices=("paper", "ablation", "extension"),
+                         help="only show specs carrying this tag")
+    systems.add_argument("--stages", action="store_true",
+                         help="also print each system's stage composition")
+
     report = subparsers.add_parser(
         "report", help="print saved benchmark results (benchmarks/results/)"
     )
@@ -107,7 +129,7 @@ def cmd_lifetime(args: argparse.Namespace) -> None:
         study = run_workload_study(
             workload, systems=systems, n_lines=args.lines,
             endurance_mean=args.endurance, endurance_cov=args.cov,
-            seed=args.seed,
+            seed=args.seed, workers=args.workers,
         )
         row = f"{workload:12}"
         for system in systems:
@@ -175,6 +197,18 @@ def cmd_trace(args: argparse.Namespace) -> None:
           f"to {args.output}")
 
 
+def cmd_systems(args: argparse.Namespace) -> None:
+    """List the registered system specs and their stage composition."""
+    specs = list_systems(tag=args.tag)
+    width = max(len(spec.name) for spec in specs) + 2
+    for spec in specs:
+        tags = ",".join(spec.tags)
+        print(f"{spec.name:{width}}[{tags}] {spec.description}")
+        if args.stages:
+            for line in spec.stage_summary():
+                print(f"{'':{width}}  {line}")
+
+
 def cmd_report(args: argparse.Namespace) -> None:
     """Print saved benchmark result files."""
     from pathlib import Path
@@ -201,6 +235,7 @@ _COMMANDS = {
     "flips": cmd_flips,
     "perf": cmd_perf,
     "trace": cmd_trace,
+    "systems": cmd_systems,
     "report": cmd_report,
 }
 

@@ -17,6 +17,13 @@ write-back the controller
    (Start-Gap) moves a line into it, and revived if the incoming data
    fits (Section III-A.3).
 
+Since the ``repro.engine`` refactor the mechanisms live in the
+composable stage pipeline (:mod:`repro.engine.stages`,
+:mod:`repro.engine.pipeline`); this class is a thin facade that builds
+the :class:`~repro.engine.context.EngineState`, owns the logical-line
+shadow store, and drives the pipeline -- its public API and semantics
+are unchanged (pinned bit-for-bit by ``tests/golden/``).
+
 Reads are modelled end-to-end as well: stuck cells inside the window
 are repaired from the scheme's correction state (ECP replacement bits /
 SAFER-Aegis inversion groups store exactly the written value), then the
@@ -25,76 +32,22 @@ payload is decompressed per the line's encoding metadata.
 
 from __future__ import annotations
 
-import dataclasses
-from dataclasses import dataclass, field
-
 import numpy as np
 
 from ..compression import BestOfCompressor, CompressionResult
 from ..correction import make_scheme
 from ..correction.freep import FreePRemapper
+from ..engine.context import ControllerStats, EngineState, WriteResult
+from ..engine.pipeline import WritePipeline
 from ..pcm import PCMBankArray, EnduranceModel, FaultMode
 from ..pcm.mlc import MLCBankArray
 from ..wearleveling import IntraLineWearLeveler, RegionStartGap, StartGap
 from .config import SystemConfig
 from .heuristic import BitFlipHeuristic
 from .metadata import LineMetadata
-from .window import (
-    LINE_BYTES,
-    extract_bytes,
-    faults_in_window,
-    find_window,
-    place_bytes,
-    window_mask,
-)
+from .window import LINE_BYTES, extract_bytes
 
-
-@dataclass(frozen=True)
-class WriteResult:
-    """Outcome of one controller write."""
-
-    physical: int
-    compressed: bool
-    size_bytes: int
-    window_start: int
-    flips: int
-    died: bool = False
-    revived: bool = False
-    lost: bool = False
-    heuristic_step: int = 0
-
-
-@dataclass
-class ControllerStats:
-    """Aggregate controller counters."""
-
-    demand_writes: int = 0
-    gap_move_writes: int = 0
-    compressed_writes: int = 0
-    uncompressed_writes: int = 0
-    lost_writes: int = 0
-    total_flips: int = 0
-    set_flips: int = 0
-    reset_flips: int = 0
-    window_slides: int = 0
-    deaths: int = 0
-    revivals: int = 0
-    heuristic_steps: dict[int, int] = field(default_factory=dict)
-    # Metadata update rates (Section III-B's wear argument): how often
-    # each per-line metadata field actually changes on a commit.
-    start_pointer_updates: int = 0
-    encoding_updates: int = 0
-    sc_updates: int = 0
-    remaps: int = 0  # FREE-p extension: blocks retired to spares
-
-    def count_step(self, step: int) -> None:
-        """Tally one Figure 8 step for the statistics."""
-        self.heuristic_steps[step] = self.heuristic_steps.get(step, 0) + 1
-
-    @property
-    def stored_writes(self) -> int:
-        """Writes that landed (compressed or raw)."""
-        return self.compressed_writes + self.uncompressed_writes
+__all__ = ["CompressedPCMController", "ControllerStats", "WriteResult"]
 
 
 class CompressedPCMController:
@@ -117,22 +70,21 @@ class CompressedPCMController:
             raise ValueError(f"cell type must be 'slc' or 'mlc', got {cell_type!r}")
         self.config = config
         self.n_lines = n_lines
-        self.compressor = compressor or BestOfCompressor()
-        self.scheme = make_scheme(config.correction_scheme)
+        self.n_banks = n_banks
+        self.cell_type = cell_type
+
         if config.start_gap_regions > 1:
-            self.start_gap = RegionStartGap(
+            start_gap = RegionStartGap(
                 n_lines, psi=config.start_gap_psi,
                 regions=config.start_gap_regions,
             )
         else:
-            self.start_gap = StartGap(n_lines, psi=config.start_gap_psi)
-        self.n_banks = n_banks
+            start_gap = StartGap(n_lines, psi=config.start_gap_psi)
 
-        base_physical = self.start_gap.physical_lines
+        base_physical = start_gap.physical_lines
         spare_count = int(base_physical * config.spare_line_fraction)
         physical = base_physical + spare_count
-        self._capacity_lines = base_physical
-        self.remapper = (
+        remapper = (
             FreePRemapper(
                 spare_lines=list(range(base_physical, physical)),
                 pointer_bits=max(1, (physical - 1).bit_length()),
@@ -141,27 +93,85 @@ class CompressedPCMController:
             else None
         )
         array_cls = PCMBankArray if cell_type == "slc" else MLCBankArray
-        self.cell_type = cell_type
-        self.memory = array_cls(physical, endurance_model, rng, fault_mode)
-        self.metadata = [LineMetadata() for _ in range(physical)]
-        self.dead = np.zeros(physical, dtype=bool)
-        self.death_fault_counts: dict[int, int] = {}
-        self._repairs: list[dict[int, int]] = [{} for _ in range(physical)]
+        self.engine = EngineState(
+            config=config,
+            scheme=make_scheme(config.correction_scheme),
+            compressor=compressor or BestOfCompressor(),
+            memory=array_cls(physical, endurance_model, rng, fault_mode),
+            start_gap=start_gap,
+            metadata=[LineMetadata() for _ in range(physical)],
+            dead=np.zeros(physical, dtype=bool),
+            repairs=[{} for _ in range(physical)],
+            death_fault_counts={},
+            stats=ControllerStats(),
+            n_banks=n_banks,
+            capacity_lines=base_physical,
+            heuristic=(
+                BitFlipHeuristic(config.threshold1, config.threshold2)
+                if config.use_heuristic
+                else None
+            ),
+            intra_wl=(
+                IntraLineWearLeveler(
+                    n_banks=n_banks, counter_limit=config.intra_counter_limit
+                )
+                if config.use_intra_wear_leveling
+                else None
+            ),
+            remapper=remapper,
+        )
+        self.pipeline = WritePipeline(self.engine)
         self._shadow: dict[int, bytes] = {}
 
-        self.intra_wl = (
-            IntraLineWearLeveler(
-                n_banks=n_banks, counter_limit=config.intra_counter_limit
-            )
-            if config.use_intra_wear_leveling
-            else None
-        )
-        self.heuristic = (
-            BitFlipHeuristic(config.threshold1, config.threshold2)
-            if config.use_heuristic
-            else None
-        )
-        self.stats = ControllerStats()
+    # -- engine state passthrough (historical public attributes) ---------
+
+    @property
+    def compressor(self) -> BestOfCompressor:
+        return self.engine.compressor
+
+    @property
+    def scheme(self):
+        return self.engine.scheme
+
+    @property
+    def start_gap(self):
+        return self.engine.start_gap
+
+    @property
+    def remapper(self) -> FreePRemapper | None:
+        return self.engine.remapper
+
+    @property
+    def memory(self):
+        return self.engine.memory
+
+    @property
+    def metadata(self) -> list[LineMetadata]:
+        return self.engine.metadata
+
+    @property
+    def dead(self) -> np.ndarray:
+        return self.engine.dead
+
+    @property
+    def death_fault_counts(self) -> dict[int, int]:
+        return self.engine.death_fault_counts
+
+    @property
+    def intra_wl(self) -> IntraLineWearLeveler | None:
+        return self.engine.intra_wl
+
+    @property
+    def heuristic(self) -> BitFlipHeuristic | None:
+        return self.engine.heuristic
+
+    @property
+    def stats(self) -> ControllerStats:
+        return self.engine.stats
+
+    @property
+    def _repairs(self) -> list[dict[int, int]]:
+        return self.engine.repairs
 
     # -- public API ------------------------------------------------------
 
@@ -169,36 +179,36 @@ class CompressedPCMController:
         """Handle one demand write-back from the LLC."""
         if len(data) != LINE_BYTES:
             raise ValueError(f"write data must be {LINE_BYTES} bytes")
-        movement = self.start_gap.on_write(logical)
+        remap = self.pipeline.remap
+        movement = remap.on_demand_write(logical)
         if movement is not None:
             self._handle_gap_move(movement)
 
         self._shadow[logical] = data
-        physical = self._resolve(self.start_gap.map(logical))
-        self.stats.demand_writes += 1
-        return self._write_physical(physical, data, revival_allowed=False)
+        physical = remap.map_logical(logical)
+        self.engine.stats.demand_writes += 1
+        return self.pipeline.write_line(physical, data, revival_allowed=False)
 
     def _resolve(self, physical: int) -> int:
         """Follow FREE-p remap pointers when the extension is enabled."""
-        if self.remapper is None:
-            return physical
-        return self.remapper.resolve(physical)
+        return self.engine.resolve(physical)
 
     def read(self, logical: int) -> bytes | None:
         """Read one line back; None when the data was lost to a death."""
-        physical = self._resolve(self.start_gap.map(logical))
-        if self.dead[physical]:
+        engine = self.engine
+        physical = self.pipeline.remap.map_logical(logical)
+        if engine.dead[physical]:
             return None
         if logical not in self._shadow:
             return None
-        meta = self.metadata[physical]
-        bits = self.memory.read_bits(physical).copy()
-        for position, value in self._repairs[physical].items():
+        meta = engine.metadata[physical]
+        bits = engine.memory.read_bits(physical).copy()
+        for position, value in engine.repairs[physical].items():
             bits[position] = value
         if not meta.compressed:
             return extract_bytes(bits, 0, LINE_BYTES)
         payload = extract_bytes(bits, meta.start_pointer, meta.stored_size)
-        member, encoding = self.compressor.decode_metadata(meta.encoding)
+        member, encoding = engine.compressor.decode_metadata(meta.encoding)
         result = CompressionResult(
             algorithm=member.name,
             encoding=encoding,
@@ -215,7 +225,7 @@ class CompressedPCMController:
         capacity lives on in the spare -- so with the FREE-p extension
         this only rises once remapping fails.
         """
-        return float(self.dead.sum()) / self._capacity_lines
+        return self.engine.dead_fraction
 
     def average_faults_per_dead_block(self) -> float:
         """Mean stuck-cell count over blocks at their (last) death.
@@ -223,210 +233,32 @@ class CompressedPCMController:
         This is the Figure 12 metric: how many faulty cells a failed
         512-bit block had accumulated before becoming unusable.
         """
-        if not self.death_fault_counts:
+        counts = self.engine.death_fault_counts
+        if not counts:
             return 0.0
-        return float(np.mean(list(self.death_fault_counts.values())))
+        return float(np.mean(list(counts.values())))
 
-    # -- write path --------------------------------------------------------
+    # -- write path ------------------------------------------------------
 
     def _write_physical(
         self, physical: int, data: bytes, revival_allowed: bool
     ) -> WriteResult:
-        if self.dead[physical] and not (
-            revival_allowed and self.config.use_dead_block_revival
-        ):
-            self.stats.lost_writes += 1
-            return WriteResult(
-                physical=physical, compressed=False, size_bytes=LINE_BYTES,
-                window_start=0, flips=0, lost=True,
-            )
-
-        was_dead = bool(self.dead[physical])
-        meta = self.metadata[physical]
-        compressed, result, step = self._choose_format(meta, data)
-
-        if compressed:
-            payload = result.payload
-            size = result.size_bytes
-            hint = (
-                self.intra_wl.offset(self._bank_of(physical))
-                if self.intra_wl is not None
-                else meta.start_pointer
-            )
-        else:
-            payload = data
-            size = LINE_BYTES
-            hint = 0
-
-        write_result = self._place_and_write(
-            physical, payload, size, hint, compressed, result, step
-        )
-
-        if write_result.died:
-            return write_result
-        if was_dead:
-            self.dead[physical] = False
-            self.stats.revivals += 1
-            write_result = dataclasses.replace(write_result, revived=True)
-        if self.intra_wl is not None:
-            self.intra_wl.record_write(self._bank_of(physical))
-        return write_result
-
-    def _choose_format(
-        self, meta: LineMetadata, data: bytes
-    ) -> tuple[bool, CompressionResult | None, int]:
-        """Compression decision: (store compressed?, result, Fig-8 step)."""
-        if not self.config.use_compression:
-            return False, None, 0
-        result = self.compressor.compress(data)
-        if result.size_bytes >= LINE_BYTES:
-            return False, result, 0
-        if self.heuristic is None:
-            return True, result, 0
-        sc_before = meta.sc
-        decision = self.heuristic.decide(meta, result.size_bytes)
-        self.stats.sc_updates += meta.sc != sc_before
-        self.stats.count_step(decision.step)
-        return decision.compress, result, decision.step
-
-    def _place_and_write(
-        self,
-        physical: int,
-        payload: bytes,
-        size: int,
-        hint: int,
-        compressed: bool,
-        result: CompressionResult | None,
-        step: int,
-    ) -> WriteResult:
-        """Find a window, write, and absorb any new faults (Figure 4)."""
-        meta = self.metadata[physical]
-        total_flips = 0
-
-        for _attempt in range(LINE_BYTES):
-            faults = self.memory.fault_positions(physical)
-            start = find_window(faults, size, self.scheme, start_hint=hint)
-            if start is None:
-                break
-            if compressed and start != meta.start_pointer:
-                self.stats.window_slides += 1
-
-            target = place_bytes(self.memory.read_bits(physical), payload, start)
-            mask = window_mask(start, size)
-            outcome = self.memory.write(physical, target, update_mask=mask)
-            total_flips += outcome.programmed_flips
-            self.stats.total_flips += outcome.programmed_flips
-            self.stats.set_flips += outcome.set_flips
-            self.stats.reset_flips += outcome.reset_flips
-
-            faults_after = self.memory.fault_positions(physical)
-            inside = faults_in_window(faults_after, start, size)
-            if inside.size <= self.scheme.deterministic_capability or (
-                self.scheme.can_correct(inside)
-            ):
-                self._commit(physical, target, start, size, compressed, result)
-                if compressed:
-                    self.stats.compressed_writes += 1
-                else:
-                    self.stats.uncompressed_writes += 1
-                return WriteResult(
-                    physical=physical, compressed=compressed, size_bytes=size,
-                    window_start=start, flips=total_flips, heuristic_step=step,
-                )
-            # New faults broke this placement; slide past it and retry.
-            hint = (start + 1) % LINE_BYTES
-
-        # No feasible placement for this payload.  Under the advanced
-        # hard-error definition (the "F" in Comp+WF, Section III-A.3/4)
-        # a block is not given up while the *compressed* form still
-        # fits, even when the heuristic asked for uncompressed storage.
-        # Comp and Comp+W lack this rescue: a write that cannot be
-        # stored in its chosen format kills the block, which is exactly
-        # why they lose lifetime on less-compressible/volatile data
-        # (Figure 10's bzip2/gcc columns).
-        if (
-            self.config.use_dead_block_revival
-            and not compressed
-            and result is not None
-            and result.size_bytes < LINE_BYTES
-        ):
-            # The recursive call marks the block dead itself on failure.
-            return self._place_and_write(
-                physical, result.payload, result.size_bytes,
-                hint, True, result, step,
-            )
-
-        # FREE-p extension: retire the block to a spare instead of
-        # losing it, as long as spares remain and the dead line can
-        # still hold the replicated remap pointer.
-        if self.remapper is not None:
-            spare = self.remapper.remap(
-                physical, self.memory.faulty_mask(physical)
-            )
-            if spare is not None:
-                self.stats.remaps += 1
-                self.death_fault_counts[physical] = self.memory.fault_count(
-                    physical
-                )
-                return self._place_and_write(
-                    spare, payload, size, hint, compressed, result, step
-                )
-
-        self.dead[physical] = True
-        self.stats.deaths += 1
-        self.death_fault_counts[physical] = self.memory.fault_count(physical)
-        self.stats.lost_writes += 1
-        return WriteResult(
-            physical=physical, compressed=compressed, size_bytes=size,
-            window_start=0, flips=total_flips, died=True, lost=True,
-            heuristic_step=step,
-        )
-
-    def _commit(
-        self,
-        physical: int,
-        target: np.ndarray,
-        start: int,
-        size: int,
-        compressed: bool,
-        result: CompressionResult | None,
-    ) -> None:
-        meta = self.metadata[physical]
-        new_pointer = start if compressed else 0
-        new_encoding = (
-            self.compressor.encode_metadata(result)
-            if compressed and result is not None
-            else meta.encoding
-        )
-        self.stats.start_pointer_updates += new_pointer != meta.start_pointer
-        self.stats.encoding_updates += (
-            new_encoding != meta.encoding or size != meta.stored_size
-        )
-        meta.start_pointer = new_pointer
-        meta.compressed = compressed
-        meta.stored_size = size
-        meta.encoding = new_encoding
-        # Refresh correction state: the scheme remembers the written
-        # value of every stuck cell inside the window.
-        mask = window_mask(start, size)
-        faulty = self.memory.faulty_mask(physical) & mask
-        positions = np.flatnonzero(faulty)
-        self._repairs[physical] = {
-            int(position): int(target[position]) for position in positions
-        }
+        """Historical entry point; delegates to the stage pipeline."""
+        return self.pipeline.write_line(physical, data, revival_allowed)
 
     def _handle_gap_move(self, movement) -> None:
         """Relocate the line Start-Gap moved; revival checkpoint (WF)."""
-        logical = self.start_gap.logical_of(movement.destination)
+        engine = self.engine
+        logical = engine.start_gap.logical_of(movement.destination)
         if logical is None:
             return
         data = self._shadow.get(logical)
         if data is None:
             return  # the line was never written; nothing to relocate
-        self.stats.gap_move_writes += 1
-        self._write_physical(
-            self._resolve(movement.destination), data, revival_allowed=True
+        engine.stats.gap_move_writes += 1
+        self.pipeline.write_line(
+            engine.resolve(movement.destination), data, revival_allowed=True
         )
 
     def _bank_of(self, physical: int) -> int:
-        return physical % self.n_banks
+        return self.engine.bank_of(physical)

@@ -1,0 +1,62 @@
+"""The composable write-path engine (refactor of the 2017 controller).
+
+Three layers:
+
+* **Stages + pipeline** -- the write path as explicit, swappable
+  stages (compress / placement / program / correction / remap) over a
+  shared :class:`EngineState`, sequenced by :class:`WritePipeline`.
+  :class:`repro.core.CompressedPCMController` is a thin facade over
+  this machinery with identical semantics.
+* **Registry** -- declarative, serializable :class:`SystemSpec`\\ s for
+  the paper's evaluated systems and the repo's ablation/extension
+  variants, consumed uniformly by ``lifetime``, the CLI, benchmarks
+  and examples.
+* **SweepRunner** -- fans independent (profile x system) lifetime runs
+  out across processes with per-run seeded generators.
+"""
+
+from .context import ControllerStats, EngineState, WriteContext, WriteResult
+from .pipeline import WritePipeline
+from .registry import (
+    PAPER_SYSTEMS,
+    SystemSpec,
+    get_system,
+    list_systems,
+    register_system,
+    resolve_config,
+    system_names,
+)
+from .stages import (
+    CompressStage,
+    CorrectionStage,
+    PlacementStage,
+    ProgramStage,
+    RemapStage,
+    Stage,
+)
+from .sweep import SEED_MODES, SweepRunner, SweepTask, run_task
+
+__all__ = [
+    "PAPER_SYSTEMS",
+    "SEED_MODES",
+    "CompressStage",
+    "ControllerStats",
+    "CorrectionStage",
+    "EngineState",
+    "PlacementStage",
+    "ProgramStage",
+    "RemapStage",
+    "Stage",
+    "SweepRunner",
+    "SweepTask",
+    "SystemSpec",
+    "WriteContext",
+    "WritePipeline",
+    "WriteResult",
+    "get_system",
+    "list_systems",
+    "register_system",
+    "resolve_config",
+    "run_task",
+    "system_names",
+]

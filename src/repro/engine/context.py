@@ -1,0 +1,156 @@
+"""Shared state, per-write context, and counters for the write engine.
+
+The engine splits the write path into stages (see
+:mod:`repro.engine.stages`) that communicate through two objects:
+
+* :class:`EngineState` -- the long-lived, shared mutable state of one
+  PCM region: the bank array, per-line metadata, death bookkeeping,
+  wear-leveling and correction components, and the statistics counters.
+  Exactly one instance exists per controller; every stage holds a
+  reference to it.
+* :class:`WriteContext` -- the scratch state of one in-flight write:
+  the chosen storage format, payload, window hint, and accumulated
+  flags.  A fresh context is created per demand/gap-move write and
+  flows through the stage list.
+
+:class:`WriteResult` and :class:`ControllerStats` live here because the
+stages are what produce them; :mod:`repro.core` re-exports both under
+their historical names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..compression import BestOfCompressor, CompressionResult
+from ..core.config import SystemConfig
+from ..core.heuristic import BitFlipHeuristic
+from ..core.metadata import LineMetadata
+from ..core.window import LINE_BYTES
+from ..correction.base import CorrectionScheme
+from ..correction.freep import FreePRemapper
+from ..wearleveling import IntraLineWearLeveler
+
+
+@dataclass(frozen=True)
+class WriteResult:
+    """Outcome of one engine write."""
+
+    physical: int
+    compressed: bool
+    size_bytes: int
+    window_start: int
+    flips: int
+    died: bool = False
+    revived: bool = False
+    lost: bool = False
+    heuristic_step: int = 0
+
+
+@dataclass
+class ControllerStats:
+    """Aggregate write-path counters, maintained by the pipeline stages.
+
+    Each counter is owned by exactly one stage (noted per group below);
+    the pipeline itself owns only the top-level write accounting.  Two
+    invariants follow from that ownership and are pinned by
+    ``tests/core/test_stats_invariants.py``:
+
+    * ``stored_writes == compressed_writes + uncompressed_writes``
+      (definitionally -- ``stored_writes`` is derived, never counted);
+    * every write either commits exactly once or is lost exactly once:
+      ``demand_writes + gap_move_writes == stored_writes + lost_writes``.
+    """
+
+    # -- pipeline-level write accounting --------------------------------
+    demand_writes: int = 0
+    gap_move_writes: int = 0
+    lost_writes: int = 0
+    # -- CompressStage ---------------------------------------------------
+    heuristic_steps: dict[int, int] = field(default_factory=dict)
+    sc_updates: int = 0
+    # -- PlacementStage --------------------------------------------------
+    window_slides: int = 0
+    # -- ProgramStage ----------------------------------------------------
+    total_flips: int = 0
+    set_flips: int = 0
+    reset_flips: int = 0
+    # -- CorrectionStage (commit + FREE-p remap) -------------------------
+    compressed_writes: int = 0
+    uncompressed_writes: int = 0
+    start_pointer_updates: int = 0
+    encoding_updates: int = 0
+    remaps: int = 0  # FREE-p extension: blocks retired to spares
+    # -- RemapStage (death / revival) ------------------------------------
+    deaths: int = 0
+    revivals: int = 0
+
+    def count_step(self, step: int) -> None:
+        """Tally one Figure 8 step for the statistics."""
+        self.heuristic_steps[step] = self.heuristic_steps.get(step, 0) + 1
+
+    @property
+    def stored_writes(self) -> int:
+        """Writes that landed (compressed or raw) -- the derived total."""
+        return self.compressed_writes + self.uncompressed_writes
+
+
+@dataclass
+class EngineState:
+    """Long-lived shared state of one PCM region's write engine."""
+
+    config: SystemConfig
+    scheme: CorrectionScheme
+    compressor: BestOfCompressor
+    memory: object  # PCMBankArray | MLCBankArray (duck-typed line store)
+    start_gap: object  # StartGap | RegionStartGap
+    metadata: list[LineMetadata]
+    dead: np.ndarray
+    repairs: list[dict[int, int]]
+    death_fault_counts: dict[int, int]
+    stats: ControllerStats
+    n_banks: int
+    capacity_lines: int
+    heuristic: BitFlipHeuristic | None = None
+    intra_wl: IntraLineWearLeveler | None = None
+    remapper: FreePRemapper | None = None
+
+    def bank_of(self, physical: int) -> int:
+        """The bank a physical line belongs to (round-robin striping)."""
+        return physical % self.n_banks
+
+    def resolve(self, physical: int) -> int:
+        """Follow FREE-p remap pointers when the extension is enabled."""
+        if self.remapper is None:
+            return physical
+        return self.remapper.resolve(physical)
+
+    @property
+    def dead_fraction(self) -> float:
+        """Dead blocks as a fraction of the nominal (non-spare) capacity."""
+        return float(self.dead.sum()) / self.capacity_lines
+
+
+@dataclass
+class WriteContext:
+    """Scratch state of one write as it flows through the pipeline.
+
+    The compress stage fixes the storage format (``compressed``,
+    ``payload``, ``size``); the placement/program/correction loop
+    consumes and updates ``hint``; the remap stage may rewrite the
+    format on a fallback-to-compressed rescue.  ``was_dead`` and
+    ``revival_allowed`` carry the dead-block revival gate's inputs.
+    """
+
+    physical: int
+    data: bytes
+    revival_allowed: bool = False
+    was_dead: bool = False
+    compressed: bool = False
+    result: CompressionResult | None = None
+    payload: bytes = b""
+    size: int = LINE_BYTES
+    hint: int = 0
+    step: int = 0

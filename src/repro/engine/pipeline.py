@@ -1,0 +1,132 @@
+"""The write pipeline: sequences the stages over one write (Figure 4).
+
+The pipeline owns the control flow the 2017 controller had fused into
+one method: the place -> program -> verify loop that absorbs cells
+wearing out *during* a write, the fallback-to-compressed rescue, the
+FREE-p remap-to-spare, and death/revival bookkeeping.  The stages own
+the mechanisms; the pipeline owns only their sequencing, so swapping a
+stage (a different compressor, correction scheme, or wear-leveler)
+never touches this file.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..core.window import LINE_BYTES
+from .context import EngineState, WriteContext, WriteResult
+from .stages import (
+    CompressStage,
+    CorrectionStage,
+    PlacementStage,
+    ProgramStage,
+    RemapStage,
+    Stage,
+)
+
+
+class WritePipeline:
+    """Runs one write through compress/placement/program/correction/remap."""
+
+    def __init__(
+        self,
+        state: EngineState,
+        compress: CompressStage | None = None,
+        placement: PlacementStage | None = None,
+        program: ProgramStage | None = None,
+        correction: CorrectionStage | None = None,
+        remap: RemapStage | None = None,
+    ) -> None:
+        self.state = state
+        self.compress = compress or CompressStage(state)
+        self.placement = placement or PlacementStage(state)
+        self.program = program or ProgramStage(state)
+        self.correction = correction or CorrectionStage(state)
+        self.remap = remap or RemapStage(state)
+
+    @property
+    def stages(self) -> tuple[Stage, ...]:
+        """The stage list in execution order."""
+        return (
+            self.compress,
+            self.placement,
+            self.program,
+            self.correction,
+            self.remap,
+        )
+
+    def describe(self) -> list[str]:
+        """One human-readable line per stage (``systems`` listing)."""
+        return [stage.describe() for stage in self.stages]
+
+    # -- write path ------------------------------------------------------
+
+    def write_line(
+        self, physical: int, data: bytes, revival_allowed: bool = False
+    ) -> WriteResult:
+        """Run one write-back through the full stage sequence."""
+        state = self.state
+        if self.remap.blocked(physical, revival_allowed):
+            state.stats.lost_writes += 1
+            return WriteResult(
+                physical=physical, compressed=False, size_bytes=LINE_BYTES,
+                window_start=0, flips=0, lost=True,
+            )
+
+        was_dead = bool(state.dead[physical])
+        ctx = WriteContext(
+            physical=physical, data=data,
+            revival_allowed=revival_allowed, was_dead=was_dead,
+        )
+        self.compress.run(ctx)
+        ctx.hint = self.placement.initial_hint(physical, ctx)
+
+        result = self._attempt(physical, ctx)
+        if result.died:
+            return result
+        if was_dead:
+            self.remap.revive(physical)
+            result = dataclasses.replace(result, revived=True)
+        self.placement.note_commit(physical)
+        return result
+
+    def _attempt(self, physical: int, ctx: WriteContext) -> WriteResult:
+        """The place/program/verify loop for one physical target.
+
+        Recurses (mirroring the write-path state machine) when the
+        remap stage rewrites the context to its compressed form or the
+        correction stage retires the block to a FREE-p spare.  Flips
+        are accounted per target: a rescue's result reports only the
+        flips spent on the line it finally landed on.
+        """
+        flips = 0
+        for _attempt in range(LINE_BYTES):
+            start = self.placement.place(physical, ctx)
+            if start is None:
+                break
+            target, programmed = self.program.program(physical, ctx, start)
+            flips += programmed
+            if self.correction.verify(physical, ctx, start):
+                self.correction.commit(physical, ctx, start, target)
+                return WriteResult(
+                    physical=physical, compressed=ctx.compressed,
+                    size_bytes=ctx.size, window_start=start, flips=flips,
+                    heuristic_step=ctx.step,
+                )
+            # New faults broke this placement; slide past it and retry.
+            ctx.hint = (start + 1) % LINE_BYTES
+
+        # No feasible placement for this payload: try the Comp+WF
+        # compressed-form rescue, then a FREE-p spare, then give up.
+        if self.remap.fallback_to_compressed(ctx):
+            return self._attempt(physical, ctx)
+        spare = self.correction.try_remap(physical)
+        if spare is not None:
+            return self._attempt(spare, ctx)
+
+        self.remap.mark_dead(physical)
+        return WriteResult(
+            physical=physical, compressed=ctx.compressed, size_bytes=ctx.size,
+            window_start=0, flips=flips, died=True, lost=True,
+            heuristic_step=ctx.step,
+        )

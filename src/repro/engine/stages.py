@@ -1,0 +1,336 @@
+"""The composable write-path stages (Section III, decomposed).
+
+Each stage owns one paper mechanism and the statistics counters that
+belong to it.  Stages are small, independently testable objects that
+share an :class:`~repro.engine.context.EngineState` and communicate
+per-write through a :class:`~repro.engine.context.WriteContext`; the
+:class:`~repro.engine.pipeline.WritePipeline` sequences them:
+
+==================  ====================================================
+stage               mechanism
+==================  ====================================================
+:class:`CompressStage`    best-of-BDI/FPC selection + Figure 8 heuristic
+:class:`PlacementStage`   window fit/slide (Figure 4) + intra-line WL
+:class:`ProgramStage`     differential write restricted to the window
+:class:`CorrectionStage`  ECP/SAFER/Aegis/SECDED feasibility, commit,
+                          and FREE-p remap-to-spare
+:class:`RemapStage`       Start-Gap moves, dead-block gate/revival, and
+                          the fallback-to-compressed rescue (the "F" in
+                          Comp+WF)
+==================  ====================================================
+
+The stage boundaries are exactly the seams the related designs swap:
+WoLFRaM replaces the remap/correction pair, CARAM the compress stage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.window import (
+    LINE_BYTES,
+    faults_in_window,
+    find_window,
+    place_bytes,
+    window_mask,
+)
+from .context import EngineState, WriteContext
+
+
+class Stage:
+    """Base class: a named write-path stage bound to an engine state."""
+
+    name: str = "stage"
+
+    def __init__(self, state: EngineState) -> None:
+        self.state = state
+
+    def describe(self) -> str:
+        """One-line human description for the ``systems`` listing."""
+        return self.name
+
+
+class CompressStage(Stage):
+    """Chooses the storage format: best-of compression + Figure 8.
+
+    Populates ``ctx.compressed``, ``ctx.result``, ``ctx.payload``,
+    ``ctx.size`` and ``ctx.step``.  Owns the ``heuristic_steps`` and
+    ``sc_updates`` counters.
+    """
+
+    name = "compress"
+
+    def run(self, ctx: WriteContext) -> None:
+        """Fix the write's storage format on the context."""
+        state = self.state
+        meta = state.metadata[ctx.physical]
+        compressed, result, step = self._choose_format(meta, ctx.data)
+        ctx.compressed = compressed
+        ctx.result = result
+        ctx.step = step
+        if compressed:
+            ctx.payload = result.payload
+            ctx.size = result.size_bytes
+        else:
+            ctx.payload = ctx.data
+            ctx.size = LINE_BYTES
+
+    def _choose_format(self, meta, data: bytes):
+        """Compression decision: (store compressed?, result, Fig-8 step)."""
+        state = self.state
+        if not state.config.use_compression:
+            return False, None, 0
+        result = state.compressor.compress(data)
+        if result.size_bytes >= LINE_BYTES:
+            return False, result, 0
+        if state.heuristic is None:
+            return True, result, 0
+        sc_before = meta.sc
+        decision = state.heuristic.decide(meta, result.size_bytes)
+        state.stats.sc_updates += meta.sc != sc_before
+        state.stats.count_step(decision.step)
+        return decision.compress, result, decision.step
+
+    def describe(self) -> str:
+        config = self.state.config
+        if not config.use_compression:
+            return "compress: off (raw 64B lines)"
+        heuristic = (
+            f"fig8 heuristic T1={config.threshold1} T2={config.threshold2}"
+            if config.use_heuristic
+            else "always-compress"
+        )
+        members = "/".join(m.name for m in self.state.compressor.members)
+        return f"compress: best-of({members}), {heuristic}"
+
+
+class PlacementStage(Stage):
+    """Window placement (Figure 4) and intra-line wear-leveling.
+
+    Supplies the initial window hint (the bank's rotation offset under
+    Comp+W, else the line's current pointer), finds a feasible window
+    for the current payload, and advances the rotation counters after a
+    successful write.  Owns the ``window_slides`` counter.
+    """
+
+    name = "placement"
+
+    def initial_hint(self, physical: int, ctx: WriteContext) -> int:
+        """Where the window search should start for this write."""
+        state = self.state
+        if not ctx.compressed:
+            return 0
+        if state.intra_wl is not None:
+            return state.intra_wl.offset(state.bank_of(physical))
+        return state.metadata[physical].start_pointer
+
+    def place(self, physical: int, ctx: WriteContext) -> int | None:
+        """First feasible window start for the payload, or None."""
+        state = self.state
+        faults = state.memory.fault_positions(physical)
+        start = find_window(faults, ctx.size, state.scheme, start_hint=ctx.hint)
+        if start is None:
+            return None
+        if ctx.compressed and start != state.metadata[physical].start_pointer:
+            state.stats.window_slides += 1
+        return start
+
+    def note_commit(self, physical: int) -> None:
+        """Advance the intra-line rotation counters after a landed write."""
+        state = self.state
+        if state.intra_wl is not None:
+            state.intra_wl.record_write(state.bank_of(physical))
+
+    def describe(self) -> str:
+        config = self.state.config
+        intra = (
+            f"intra-line WL (counter limit {config.intra_counter_limit})"
+            if config.use_intra_wear_leveling
+            else "pointer-stable windows"
+        )
+        return f"placement: circular window fit/slide, {intra}"
+
+
+class ProgramStage(Stage):
+    """Issues the differential write restricted to the window.
+
+    Owns the flip counters (``total_flips``, ``set_flips``,
+    ``reset_flips``).
+    """
+
+    name = "program"
+
+    def program(
+        self, physical: int, ctx: WriteContext, start: int
+    ) -> tuple[np.ndarray, int]:
+        """Write the payload at ``start``; returns (target bits, flips)."""
+        state = self.state
+        target = place_bytes(state.memory.read_bits(physical), ctx.payload, start)
+        mask = window_mask(start, ctx.size)
+        outcome = state.memory.write(physical, target, update_mask=mask)
+        state.stats.total_flips += outcome.programmed_flips
+        state.stats.set_flips += outcome.set_flips
+        state.stats.reset_flips += outcome.reset_flips
+        return target, outcome.programmed_flips
+
+    def describe(self) -> str:
+        return "program: chip-level differential write (window-masked)"
+
+
+class CorrectionStage(Stage):
+    """Post-write feasibility, metadata commit, and FREE-p remap.
+
+    Re-checks the faults that fell inside the window after programming
+    (cells can wear out *during* the write), commits the 13-bit line
+    metadata and the scheme's repair state on success, and -- with the
+    FREE-p extension enabled -- retires an unplaceable block to a spare
+    line.  Owns the commit counters (``compressed_writes``,
+    ``uncompressed_writes``, ``start_pointer_updates``,
+    ``encoding_updates``) and ``remaps``.
+    """
+
+    name = "correction"
+
+    def verify(self, physical: int, ctx: WriteContext, start: int) -> bool:
+        """Whether the scheme can mask the window's post-write faults."""
+        state = self.state
+        faults_after = state.memory.fault_positions(physical)
+        inside = faults_in_window(faults_after, start, ctx.size)
+        return inside.size <= state.scheme.deterministic_capability or (
+            state.scheme.can_correct(inside)
+        )
+
+    def commit(
+        self, physical: int, ctx: WriteContext, start: int, target: np.ndarray
+    ) -> None:
+        """Update line metadata and repair state for a landed write."""
+        state = self.state
+        meta = state.metadata[physical]
+        new_pointer = start if ctx.compressed else 0
+        new_encoding = (
+            state.compressor.encode_metadata(ctx.result)
+            if ctx.compressed and ctx.result is not None
+            else meta.encoding
+        )
+        state.stats.start_pointer_updates += new_pointer != meta.start_pointer
+        state.stats.encoding_updates += (
+            new_encoding != meta.encoding or ctx.size != meta.stored_size
+        )
+        meta.start_pointer = new_pointer
+        meta.compressed = ctx.compressed
+        meta.stored_size = ctx.size
+        meta.encoding = new_encoding
+        # Refresh correction state: the scheme remembers the written
+        # value of every stuck cell inside the window.
+        mask = window_mask(start, ctx.size)
+        faulty = state.memory.faulty_mask(physical) & mask
+        positions = np.flatnonzero(faulty)
+        state.repairs[physical] = {
+            int(position): int(target[position]) for position in positions
+        }
+        if ctx.compressed:
+            state.stats.compressed_writes += 1
+        else:
+            state.stats.uncompressed_writes += 1
+
+    def try_remap(self, physical: int) -> int | None:
+        """FREE-p: retire an unplaceable block to a spare line."""
+        state = self.state
+        if state.remapper is None:
+            return None
+        spare = state.remapper.remap(physical, state.memory.faulty_mask(physical))
+        if spare is None:
+            return None
+        state.stats.remaps += 1
+        state.death_fault_counts[physical] = state.memory.fault_count(physical)
+        return spare
+
+    def describe(self) -> str:
+        config = self.state.config
+        freep = (
+            f" + FREE-p spares ({config.spare_line_fraction:.0%})"
+            if config.spare_line_fraction
+            else ""
+        )
+        return f"correction: {self.state.scheme.name}{freep}"
+
+
+class RemapStage(Stage):
+    """Start-Gap address rotation and the dead-block life cycle.
+
+    Maps logical lines through Start-Gap, reports gap moves that the
+    facade must relocate, gates writes into dead blocks (revival is
+    only allowed at gap-move checkpoints under Comp+WF), performs the
+    fallback-to-compressed rescue, and marks/revives dead blocks.  Owns
+    ``deaths`` and ``revivals``.
+    """
+
+    name = "remap"
+
+    def map_logical(self, logical: int) -> int:
+        """Logical line -> physical line through Start-Gap + FREE-p."""
+        state = self.state
+        return state.resolve(state.start_gap.map(logical))
+
+    def on_demand_write(self, logical: int):
+        """Advance Start-Gap; returns a GapMovement when the gap moved."""
+        return self.state.start_gap.on_write(logical)
+
+    def blocked(self, physical: int, revival_allowed: bool) -> bool:
+        """Whether a write into this block must be dropped (dead gate)."""
+        state = self.state
+        return bool(state.dead[physical]) and not (
+            revival_allowed and state.config.use_dead_block_revival
+        )
+
+    def fallback_to_compressed(self, ctx: WriteContext) -> bool:
+        """Rewrite the context to its compressed form when that rescues it.
+
+        Under the advanced hard-error definition (the "F" in Comp+WF,
+        Section III-A.3/4) a block is not given up while the
+        *compressed* form still fits, even when the heuristic asked for
+        uncompressed storage.  Comp and Comp+W lack this rescue: a
+        write that cannot be stored in its chosen format kills the
+        block, which is exactly why they lose lifetime on
+        less-compressible/volatile data (Figure 10's bzip2/gcc columns).
+        """
+        state = self.state
+        if not (
+            state.config.use_dead_block_revival
+            and not ctx.compressed
+            and ctx.result is not None
+            and ctx.result.size_bytes < LINE_BYTES
+        ):
+            return False
+        ctx.compressed = True
+        ctx.payload = ctx.result.payload
+        ctx.size = ctx.result.size_bytes
+        return True
+
+    def mark_dead(self, physical: int) -> None:
+        """Record a block death (no feasible placement, no spare)."""
+        state = self.state
+        state.dead[physical] = True
+        state.stats.deaths += 1
+        state.death_fault_counts[physical] = state.memory.fault_count(physical)
+        state.stats.lost_writes += 1
+
+    def revive(self, physical: int) -> None:
+        """Bring a dead block back into service after a landed write."""
+        state = self.state
+        state.dead[physical] = False
+        state.stats.revivals += 1
+
+    def describe(self) -> str:
+        config = self.state.config
+        gap = (
+            f"{config.start_gap_regions}-region Start-Gap"
+            if config.start_gap_regions > 1
+            else "Start-Gap"
+        )
+        revival = (
+            "revival at gap-move checkpoints"
+            if config.use_dead_block_revival
+            else "no revival"
+        )
+        return f"remap: {gap} (psi={config.start_gap_psi}), {revival}"

@@ -1,0 +1,143 @@
+"""Parallel (profile x system) lifetime sweep runner.
+
+A full Figure 10/13 study is dozens of completely independent lifetime
+simulations -- one per (workload profile, system) pair -- that the old
+code ran strictly serially.  :class:`SweepRunner` fans them out across
+worker processes and merges the per-run
+:class:`~repro.lifetime.results.LifetimeResult`\\ s back into the same
+``{workload: {system: result}}`` shape the serial helpers produce.
+
+Determinism: each run builds its own simulator from ``(system,
+workload, seed)`` exactly as :func:`repro.lifetime.run_system_comparison`
+does, so for the default ``seed_mode="shared"`` the parallel results are
+bit-for-bit identical to the serial ones regardless of worker count or
+scheduling (verified by ``tests/engine/test_sweep.py``).  With
+``seed_mode="spawned"`` each run instead gets an independent seed
+derived via :func:`repro.rng.spawn_seeds`, which is what you want when
+averaging over many sweeps rather than comparing against a serial run.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from ..rng import spawn_seeds
+from .registry import PAPER_SYSTEMS
+
+#: Recognized per-run seeding policies.
+SEED_MODES = ("shared", "spawned")
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One independent lifetime run (fully pickleable)."""
+
+    system: str
+    workload: str
+    n_lines: int
+    endurance_mean: float
+    endurance_cov: float
+    seed: int
+    max_writes: int
+    cell_type: str = "slc"
+    config_overrides: tuple[tuple[str, object], ...] = ()
+
+
+def run_task(task: SweepTask):
+    """Execute one sweep task; the worker-process entry point."""
+    # Imported here (not at module top) so the engine package can be
+    # imported without pulling the whole lifetime stack, and so forked
+    # workers resolve it against their own interpreter state.
+    from ..lifetime.systems import build_simulator
+
+    simulator = build_simulator(
+        task.system,
+        task.workload,
+        n_lines=task.n_lines,
+        endurance_mean=task.endurance_mean,
+        endurance_cov=task.endurance_cov,
+        seed=task.seed,
+        cell_type=task.cell_type,
+        **dict(task.config_overrides),
+    )
+    return simulator.run(max_writes=task.max_writes)
+
+
+@dataclass
+class SweepRunner:
+    """Fans independent (profile x system) lifetime runs across processes.
+
+    Args:
+        systems: System names (registry specs) to run per workload.
+        workers: Worker processes; ``None`` uses the CPU count, ``1``
+            runs serially in-process (no pool, handy for debugging).
+        seed_mode: ``"shared"`` gives every run the same base seed
+            (matching ``run_system_comparison``); ``"spawned"`` derives
+            an independent seed per run via ``SeedSequence.spawn``.
+    """
+
+    systems: tuple[str, ...] = PAPER_SYSTEMS
+    workers: int | None = None
+    seed_mode: str = "shared"
+    n_lines: int = 256
+    endurance_mean: float = 100.0
+    endurance_cov: float = 0.15
+    max_writes: int = 2_000_000
+    cell_type: str = "slc"
+    config_overrides: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.seed_mode not in SEED_MODES:
+            raise ValueError(
+                f"seed_mode must be one of {SEED_MODES}, got {self.seed_mode!r}"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise ValueError("workers must be positive")
+
+    def tasks(self, workloads, seed: int = 0) -> list[SweepTask]:
+        """The task grid for a sweep, in (workload, system) order."""
+        pairs = [
+            (workload, system)
+            for workload in workloads
+            for system in self.systems
+        ]
+        if self.seed_mode == "spawned":
+            seeds = spawn_seeds(seed, len(pairs))
+        else:
+            seeds = [seed] * len(pairs)
+        return [
+            SweepTask(
+                system=system,
+                workload=workload,
+                n_lines=self.n_lines,
+                endurance_mean=self.endurance_mean,
+                endurance_cov=self.endurance_cov,
+                seed=run_seed,
+                max_writes=self.max_writes,
+                cell_type=self.cell_type,
+                config_overrides=tuple(sorted(self.config_overrides.items())),
+            )
+            for (workload, system), run_seed in zip(pairs, seeds)
+        ]
+
+    def run(self, workloads, seed: int = 0) -> dict[str, dict[str, object]]:
+        """Run the full grid; returns ``{workload: {system: result}}``."""
+        workloads = tuple(workloads)
+        tasks = self.tasks(workloads, seed=seed)
+        workers = self.workers if self.workers is not None else os.cpu_count() or 1
+        workers = min(workers, len(tasks)) or 1
+        if workers == 1:
+            outcomes = [run_task(task) for task in tasks]
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                outcomes = list(pool.map(run_task, tasks))
+        merged: dict[str, dict[str, object]] = {w: {} for w in workloads}
+        for task, outcome in zip(tasks, outcomes):
+            merged[task.workload][task.system] = outcome
+        return merged
+
+    def run_comparison(self, workload: str, seed: int = 0) -> dict[str, object]:
+        """One workload across all systems (a Figure 10 column group)."""
+        return self.run((workload,), seed=seed)[workload]

@@ -18,6 +18,7 @@ import numpy as np
 
 from ..core.window import find_window
 from ..correction import ECP, CorrectionScheme
+from ..rng import as_generator
 
 #: The data sizes highlighted in Figure 9's legend.
 PAPER_DATA_SIZES = (1, 8, 16, 20, 24, 32, 34, 36, 40, 64)
@@ -109,10 +110,14 @@ def sweep(
     data_sizes: Sequence[int] = PAPER_DATA_SIZES,
     fault_counts: Sequence[int] = tuple(range(0, 129, 8)),
     trials: int = 1000,
-    seed: int = 0,
+    seed: int | np.random.SeedSequence | np.random.Generator = 0,
 ) -> list[FailurePoint]:
-    """The full Figure 9 grid (paper: 100k trials; default scaled down)."""
-    rng = np.random.default_rng(seed)
+    """The full Figure 9 grid (paper: 100k trials; default scaled down).
+
+    ``seed`` also accepts an explicit ``Generator``/``SeedSequence`` so
+    parallel sweeps can thread independent spawned streams through.
+    """
+    rng = as_generator(seed)
     points = []
     for scheme in schemes:
         for data_bytes in data_sizes:
@@ -130,7 +135,7 @@ def tolerable_faults(
     data_bytes: int,
     target_probability: float = 0.5,
     trials: int = 400,
-    seed: int = 0,
+    seed: int | np.random.SeedSequence | np.random.Generator = 0,
     max_faults: int = 128,
 ) -> float:
     """Fault count at which failure probability crosses ``target``.
@@ -140,7 +145,7 @@ def tolerable_faults(
     ~38 (SAFER-32) and ~41 (Aegis) tolerable faults.  Linear
     interpolation between the two bracketing fault counts.
     """
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     previous_count, previous_prob = 0, 0.0
     for n_faults in range(1, max_faults + 1):
         point = failure_probability(scheme, data_bytes, n_faults, trials, rng)

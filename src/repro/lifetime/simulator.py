@@ -60,6 +60,7 @@ class LifetimeSimulator:
         fault_mode: FaultMode = FaultMode.STUCK_AT_LAST,
         dead_threshold: float = DEAD_CAPACITY_THRESHOLD,
         cell_type: str = "slc",
+        rng: np.random.Generator | None = None,
     ) -> None:
         if not 0 < dead_threshold <= 1:
             raise ValueError("dead threshold must be in (0, 1]")
@@ -84,7 +85,7 @@ class LifetimeSimulator:
             config=config,
             n_lines=n_lines,
             endurance_model=model,
-            rng=np.random.default_rng(seed),
+            rng=rng if rng is not None else np.random.default_rng(seed),
             n_banks=n_banks,
             fault_mode=fault_mode,
             cell_type=cell_type,
@@ -117,7 +118,9 @@ class LifetimeSimulator:
                 break
 
         stats = controller.stats
-        stored = stats.compressed_writes + stats.uncompressed_writes
+        # Per-stage counters are the single source of truth: derive the
+        # stored-write total rather than re-counting it here.
+        stored = stats.stored_writes
         return LifetimeResult(
             system=self.config.name,
             workload=self.workload_name,

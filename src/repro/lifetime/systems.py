@@ -8,7 +8,8 @@ parameters together so benchmarks and examples can run one-liners like::
 
 from __future__ import annotations
 
-from ..core import EVALUATED_SYSTEMS, SystemConfig, make_config
+from ..core import EVALUATED_SYSTEMS, SystemConfig
+from ..engine.registry import resolve_config
 from ..traces import SyntheticWorkload, get_profile
 from .results import LifetimeResult, normalized_lifetime
 from .simulator import LifetimeSimulator
@@ -46,16 +47,21 @@ def build_simulator(
     cell_type: str = "slc",
     **config_overrides,
 ) -> LifetimeSimulator:
-    """A ready-to-run simulator for one (system, workload) pair."""
+    """A ready-to-run simulator for one (system, workload) pair.
+
+    ``system`` may be any registered :class:`~repro.engine.SystemSpec`
+    name (the four paper systems plus ablation/extension variants) or
+    an explicit :class:`~repro.core.SystemConfig`.
+    """
     if isinstance(system, SystemConfig):
-        config = system.with_overrides(**config_overrides) if config_overrides else system
+        config = resolve_config(system, **config_overrides)
     else:
         overrides = dict(config_overrides)
         overrides.setdefault(
             "intra_counter_limit",
             scaled_intra_counter_limit(endurance_mean, lines_per_bank=max(1, n_lines // 8)),
         )
-        config = make_config(system, **overrides)
+        config = resolve_config(system, **overrides)
     source = SyntheticWorkload(get_profile(workload), n_lines=n_lines, seed=seed)
     return LifetimeSimulator(
         config=config,
@@ -76,8 +82,26 @@ def run_system_comparison(
     endurance_cov: float = 0.15,
     seed: int = 0,
     max_writes: int = 2_000_000,
+    workers: int = 1,
 ) -> dict[str, LifetimeResult]:
-    """Run every system on one workload (one Figure 10 column group)."""
+    """Run every system on one workload (one Figure 10 column group).
+
+    ``workers > 1`` fans the runs out across processes through
+    :class:`~repro.engine.SweepRunner`; each run is seeded identically
+    to the serial path, so the results are bit-for-bit the same.
+    """
+    if workers != 1:
+        from ..engine.sweep import SweepRunner
+
+        runner = SweepRunner(
+            systems=tuple(systems),
+            workers=workers,
+            n_lines=n_lines,
+            endurance_mean=endurance_mean,
+            endurance_cov=endurance_cov,
+            max_writes=max_writes,
+        )
+        return runner.run_comparison(workload, seed=seed)
     results = {}
     for system in systems:
         simulator = build_simulator(

@@ -18,6 +18,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..rng import as_generator
+
 #: Mean cell endurance assumed by the paper (Table II).
 PAPER_ENDURANCE_MEAN = 10**7
 #: Coefficient of variation for the main experiments (Table II).
@@ -55,8 +57,19 @@ class EnduranceModel:
         """Standard deviation of the endurance distribution."""
         return self.mean * self.cov
 
-    def sample(self, shape: int | tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
-        """Draw per-cell endurance limits as a uint64 array."""
+    def sample(
+        self,
+        shape: int | tuple[int, ...],
+        rng: np.random.Generator | np.random.SeedSequence | int,
+    ) -> np.ndarray:
+        """Draw per-cell endurance limits as a uint64 array.
+
+        ``rng`` is an explicitly threaded generator -- or a seed /
+        ``SeedSequence``, normalized via :func:`repro.rng.as_generator`
+        -- so every variation draw is attributable to a caller-owned
+        stream (no module-level RNG state anywhere in the repo).
+        """
+        rng = as_generator(rng)
         draws = rng.normal(self.mean, self.sigma, size=shape)
         floor = max(1.0, self.mean * self.floor_fraction)
         return np.maximum(draws, floor).astype(np.uint64)

@@ -261,13 +261,20 @@ class SyntheticWorkload:
     """Write-back stream generator for one workload profile."""
 
     def __init__(
-        self, profile: WorkloadProfile, n_lines: int, seed: int = 0
+        self,
+        profile: WorkloadProfile,
+        n_lines: int,
+        seed: int = 0,
+        rng: np.random.Generator | None = None,
     ) -> None:
+        """``rng`` (when given) overrides ``seed``: the generator is an
+        explicitly threaded stream, so parallel sweep runs can hand each
+        workload an independent ``SeedSequence``-spawned generator."""
         if n_lines < 1:
             raise ValueError("need at least one line")
         self.profile = profile
         self.n_lines = n_lines
-        self._rng = np.random.default_rng(seed)
+        self._rng = rng if rng is not None else np.random.default_rng(seed)
         self._payloads = PayloadModel(self._rng)
         self._blocks: dict[int, _BlockState] = {}
 

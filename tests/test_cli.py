@@ -59,6 +59,48 @@ def test_lifetime_command(capsys):
     assert "months" in out
 
 
+def test_lifetime_command_with_workers(capsys):
+    assert main([
+        "lifetime", "--workloads", "milc", "--lines", "24",
+        "--endurance", "12", "--systems", "baseline", "comp_wf",
+        "--workers", "2",
+    ]) == 0
+    assert "milc" in capsys.readouterr().out
+
+
+def test_systems_command(capsys):
+    assert main(["systems"]) == 0
+    out = capsys.readouterr().out
+    for name in ("baseline", "comp", "comp_w", "comp_wf"):
+        assert name in out
+    assert "[paper]" in out
+
+
+def test_systems_command_with_stages(capsys):
+    assert main(["systems", "--tag", "paper", "--stages"]) == 0
+    out = capsys.readouterr().out
+    assert "compress:" in out
+    assert "placement:" in out
+    assert "ablation" not in out
+
+
+def test_systems_command_tag_filter(capsys):
+    assert main(["systems", "--tag", "ablation"]) == 0
+    out = capsys.readouterr().out
+    assert "comp_wf_no_heuristic" in out
+    assert "baseline" not in out
+
+
+def test_lifetime_rejects_unregistered_system():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["lifetime", "--systems", "comp_xyz"])
+
+
+def test_lifetime_rejects_nonpositive_workers():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["lifetime", "--workers", "0"])
+
+
 def test_report_command(tmp_path, capsys):
     results = tmp_path / "results"
     results.mkdir()
