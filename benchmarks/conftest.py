@@ -11,10 +11,10 @@ Scale knobs (environment variables):
 ======================  =======  =========================================
 variable                default  meaning
 ======================  =======  =========================================
-``REPRO_BENCH_LINES``   96       memory size (lines) for lifetime studies
+``REPRO_BENCH_LINES``   128      memory size (lines) for lifetime studies
 ``REPRO_BENCH_END``     60       mean cell endurance (writes) for lifetime
 ``REPRO_BENCH_TRIALS``  150      Monte Carlo trials per Figure 9 point
-``REPRO_BENCH_WRITES``  4000     write-back samples for statistics figures
+``REPRO_BENCH_WRITES``  12000    write-back samples for statistics figures
 ``REPRO_BENCH_WORKERS`` 1        worker processes for the lifetime grids
 ======================  =======  =========================================
 
@@ -48,10 +48,10 @@ def env_int(name: str, default: int) -> int:
 def bench_scale():
     """Simulation-scale knobs, overridable via environment."""
     return {
-        "n_lines": env_int("REPRO_BENCH_LINES", 96),
+        "n_lines": env_int("REPRO_BENCH_LINES", 128),
         "endurance_mean": env_int("REPRO_BENCH_END", 60),
         "trials": env_int("REPRO_BENCH_TRIALS", 150),
-        "writes": env_int("REPRO_BENCH_WRITES", 4000),
+        "writes": env_int("REPRO_BENCH_WRITES", 12000),
         "workers": env_int("REPRO_BENCH_WORKERS", 1),
     }
 

@@ -71,6 +71,9 @@ def build_parser() -> argparse.ArgumentParser:
     lifetime.add_argument("--workers", type=_positive_int, default=1,
                           help="worker processes for the (workload x system) "
                           "sweep (1 = serial; same results either way)")
+    lifetime.add_argument("--profile", metavar="FILE", default=None,
+                          help="dump a cProfile of the run to FILE and print "
+                          "the top functions by cumulative time")
 
     montecarlo = subparsers.add_parser("montecarlo", help="Figure 9 crossings")
     montecarlo.add_argument("--sizes", nargs="+", type=int, default=[16, 32, 64])
@@ -120,11 +123,29 @@ def build_parser() -> argparse.ArgumentParser:
 
 def cmd_lifetime(args: argparse.Namespace) -> None:
     """Run the Figure 10 / Table IV experiment."""
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            _run_lifetime(args)
+        finally:
+            profiler.disable()
+            profiler.dump_stats(args.profile)
+            _print_profile_summary(profiler, args.profile)
+    else:
+        _run_lifetime(args)
+
+
+def _run_lifetime(args: argparse.Namespace) -> None:
+    """The lifetime sweep proper (separated so --profile can wrap it)."""
     systems = tuple(args.systems)
     if "baseline" not in systems:
         systems = ("baseline",) + systems
     print(f"{'workload':12}" + "".join(f"{s:>10}" for s in systems if s != "baseline")
           + f"{'base months':>13}{'WF months':>11}")
+    cache_hits = cache_misses = 0
     for workload in args.workloads:
         study = run_workload_study(
             workload, systems=systems, n_lines=args.lines,
@@ -139,6 +160,22 @@ def cmd_lifetime(args: argparse.Namespace) -> None:
         wf = "comp_wf" if "comp_wf" in systems else systems[-1]
         row += f"{study.months(wf):11.1f}"
         print(row)
+        for result in study.results.values():
+            cache_hits += result.compression_cache_hits
+            cache_misses += result.compression_cache_misses
+    lookups = cache_hits + cache_misses
+    if lookups:
+        print(f"compression cache: {cache_hits} hits / {cache_misses} misses "
+              f"({cache_hits / lookups:.1%} hit rate)")
+
+
+def _print_profile_summary(profiler, path: str, top: int = 20) -> None:
+    """Print the top functions of a finished cProfile by cumulative time."""
+    import pstats
+
+    print(f"\nprofile written to {path}; top {top} by cumulative time:")
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(top)
 
 
 def cmd_montecarlo(args: argparse.Namespace) -> None:

@@ -9,6 +9,7 @@ from .base import (
 )
 from .bdi import BDICompressor
 from .best import ENCODING_METADATA_BITS, BestOfCompressor
+from .cache import CachingCompressor
 from .fpc import FPCCompressor
 from .fvc import DEFAULT_DICTIONARY, FVCCompressor
 from .stats import (
@@ -31,6 +32,7 @@ __all__ = [
     "FPCCompressor",
     "FVCCompressor",
     "BestOfCompressor",
+    "CachingCompressor",
     "ENCODING_METADATA_BITS",
     "CompressionSummary",
     "compressed_sizes",

@@ -43,6 +43,8 @@ from .base import (
 _BYTE_ORDER = "little"
 _UNSIGNED_DTYPE = {8: "<u8", 4: "<u4", 2: "<u2"}
 _SIGNED_DTYPE = {8: "<i8", 4: "<i4", 2: "<i2"}
+#: Little-endian signed dtype used to pack a delta array of each width.
+_DELTA_DTYPE = {1: "<i1", 2: "<i2", 4: "<i4"}
 
 
 @dataclass(frozen=True)
@@ -85,17 +87,6 @@ _VARIANT_BY_ENCODING = {variant.encoding: variant for variant in _VARIANTS}
 _VARIANTS_BY_SIZE = tuple(sorted(_VARIANTS, key=lambda v: v.compressed_bytes))
 
 
-def _wrapped_deltas(data: bytes, width: int) -> np.ndarray:
-    """Per-word deltas from the first word, modulo the word width.
-
-    The hardware computes deltas with wraparound arithmetic: a delta is
-    acceptable whenever its modular value fits the delta field, since
-    decompression adds it back modulo the word width.
-    """
-    words = np.frombuffer(data, dtype=_UNSIGNED_DTYPE[width])
-    return (words - words[0]).view(_SIGNED_DTYPE[width])
-
-
 class BDICompressor(Compressor):
     """Base-Delta-Immediate line compressor."""
 
@@ -104,7 +95,14 @@ class BDICompressor(Compressor):
     encoding_space = 9  # uncompressed, zeros, rep8, six base+delta variants
 
     def compress(self, data: bytes) -> CompressionResult:
-        """Compress one 64-byte line (see :class:`Compressor`)."""
+        """Compress one 64-byte line (see :class:`Compressor`).
+
+        The wrapped delta array for each base width is computed once
+        (numpy, whole-line); every variant's delta-fit check then
+        reduces to two scalar bound comparisons, and the winning
+        payload is packed with ``ndarray.astype(...).tobytes()``
+        instead of per-delta ``int.to_bytes`` calls.
+        """
         self._check_input(data)
 
         if data == bytes(LINE_SIZE_BYTES):
@@ -113,9 +111,30 @@ class BDICompressor(Compressor):
         if data[:8] * (LINE_SIZE_BYTES // 8) == data:
             return CompressionResult(self.name, ENC_REP8, 64, data[:8])
 
+        # width -> (wrapped deltas, min, max); filled lazily since the
+        # smallest variants usually decide the outcome.
+        bounds: dict[int, tuple[np.ndarray, int, int]] = {}
         for variant in _VARIANTS_BY_SIZE:
-            payload = self._try_variant(data, variant)
-            if payload is not None:
+            width = variant.base_bytes
+            entry = bounds.get(width)
+            if entry is None:
+                # Deltas wrap modulo the word width: the hardware adds
+                # them back with wraparound arithmetic on decompression,
+                # so the modular value only has to fit the delta field.
+                words = np.frombuffer(data, dtype=_UNSIGNED_DTYPE[width])
+                deltas = (words - words[0]).view(_SIGNED_DTYPE[width])
+                entry = bounds[width] = (
+                    deltas, int(deltas.min()), int(deltas.max())
+                )
+            deltas, lowest, highest = entry
+            limit = 1 << (8 * variant.delta_bytes - 1)
+            if lowest >= -limit and highest < limit:
+                # In-range astype narrowing is exact two's complement,
+                # identical to int.to_bytes(..., signed=True) per delta.
+                payload = (
+                    data[:width]
+                    + deltas.astype(_DELTA_DTYPE[variant.delta_bytes]).tobytes()
+                )
                 return CompressionResult(
                     self.name,
                     variant.encoding,
@@ -152,20 +171,6 @@ class BDICompressor(Compressor):
     def variant_sizes() -> dict[str, int]:
         """Compressed size in bytes for every base+delta geometry."""
         return {v.name: v.compressed_bytes for v in _VARIANTS_BY_SIZE}
-
-    def _try_variant(self, data: bytes, variant: _Variant) -> bytes | None:
-        """Encode ``data`` under ``variant`` or return None if it misfits."""
-        deltas = _wrapped_deltas(data, variant.base_bytes)
-        limit = 1 << (8 * variant.delta_bytes - 1)
-        if not bool(((deltas >= -limit) & (deltas < limit)).all()):
-            return None
-
-        parts = [data[: variant.base_bytes]]
-        parts.extend(
-            int(delta).to_bytes(variant.delta_bytes, _BYTE_ORDER, signed=True)
-            for delta in deltas
-        )
-        return b"".join(parts)
 
     def _decode_variant(self, payload: bytes, variant: _Variant) -> bytes:
         expected = variant.compressed_bytes

@@ -1,0 +1,89 @@
+"""Content-addressed compression cache.
+
+PCM write streams are heavily content-redundant: traces are replayed
+with ``itertools.cycle`` and the synthetic workloads draw lines from
+finite content pools, so the same 64-byte payloads recur constantly
+(CARAM, arXiv:2007.13661, builds a whole RRAM cache design on this
+observation).  :class:`CachingCompressor` exploits that redundancy by
+memoizing ``compress`` results in a bounded LRU map keyed on the raw
+line content, turning the dominant per-write cost into a dict lookup.
+
+The wrapper is transparent: it returns the *same* frozen
+:class:`~repro.compression.base.CompressionResult` objects the inner
+compressor produced (results are immutable, so sharing is safe), and
+it delegates every other attribute -- ``members``, ``compress_all``,
+``decompress``, metadata codecs -- to the wrapped compressor, so it
+can stand in for :class:`~repro.compression.best.BestOfCompressor`
+anywhere in the engine.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from .base import CompressionResult, Compressor
+
+
+class CachingCompressor:
+    """Bounded content-addressed LRU cache around any :class:`Compressor`.
+
+    Parameters
+    ----------
+    inner:
+        The compressor whose ``compress`` results are memoized.
+    capacity:
+        Maximum number of distinct line contents retained.  Must be
+        positive -- a zero capacity should be expressed by not
+        wrapping the compressor at all.
+    """
+
+    def __init__(self, inner: Compressor, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.inner = inner
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[bytes, CompressionResult] = OrderedDict()
+        # Mirror the identity attributes so the wrapper is a drop-in,
+        # and bind the hot metadata codecs directly (the __getattr__
+        # fallback is an order of magnitude slower per access).
+        self.name = inner.name
+        self.decompression_latency_cycles = inner.decompression_latency_cycles
+        self.encoding_space = inner.encoding_space
+        for codec in ("encode_metadata", "decode_metadata"):
+            bound = getattr(inner, codec, None)
+            if bound is not None:
+                setattr(self, codec, bound)
+
+    def compress(self, data: bytes) -> CompressionResult:
+        """Return the memoized result for ``data``, compressing on miss."""
+        # Real bytes keys are used as-is (the overwhelmingly common
+        # case); anything buffer-like is snapshotted so a caller
+        # mutating it later cannot corrupt the cache.
+        key = data if type(data) is bytes else bytes(data)
+        entries = self._entries
+        result = entries.get(key)
+        if result is not None:
+            self.hits += 1
+            entries.move_to_end(key)
+            return result
+        self.misses += 1
+        result = self.inner.compress(key)
+        entries[key] = result
+        if len(entries) > self.capacity:
+            entries.popitem(last=False)
+        return result
+
+    def clear(self) -> None:
+        """Drop all cached entries (counters are kept)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __getattr__(self, attribute: str):
+        # Everything not defined here (decompress, compress_all,
+        # members, encode_metadata, decode_metadata, ...) is the inner
+        # compressor's business.
+        return getattr(self.inner, attribute)

@@ -25,6 +25,8 @@ few as 3 bits (a zero word absorbed into a run) and decompression takes
 
 from __future__ import annotations
 
+import numpy as np
+
 from .base import (
     LINE_SIZE_BYTES,
     CompressionError,
@@ -48,24 +50,11 @@ _PREFIX_UNCOMPRESSED = 0b111
 
 _MAX_ZERO_RUN = 8
 
+#: Payload width in bits for every non-zero-run prefix, indexed by prefix.
+_PAYLOAD_WIDTH = (0, 4, 8, 16, 16, 16, 8, 32)
+
 #: The single encoding id FPC reports (the bitstream is self-describing).
 ENC_FPC = 0
-
-
-class _BitWriter:
-    """Append-only MSB-first bit buffer."""
-
-    def __init__(self) -> None:
-        self._value = 0
-        self.bit_count = 0
-
-    def write(self, value: int, width: int) -> None:
-        self._value = (self._value << width) | (value & ((1 << width) - 1))
-        self.bit_count += width
-
-    def to_bytes(self) -> bytes:
-        pad = (-self.bit_count) % 8
-        return ((self._value << pad)).to_bytes((self.bit_count + pad) // 8, "big")
 
 
 class _BitReader:
@@ -87,16 +76,6 @@ class _BitReader:
         return (self._value >> shift) & ((1 << width) - 1)
 
 
-def _sign_extends(value: int, bits: int) -> bool:
-    """Whether the signed 32-bit ``value`` fits in ``bits`` signed bits."""
-    limit = 1 << (bits - 1)
-    return -limit <= value < limit
-
-
-def _to_signed32(word: int) -> int:
-    return word - (1 << 32) if word >= (1 << 31) else word
-
-
 class FPCCompressor(Compressor):
     """Frequent Pattern Compression line compressor."""
 
@@ -105,14 +84,38 @@ class FPCCompressor(Compressor):
     encoding_space = 1  # the bitstream is self-describing
 
     def compress(self, data: bytes) -> CompressionResult:
-        """Compress one 64-byte line (see :class:`Compressor`)."""
-        self._check_input(data)
-        words = [
-            int.from_bytes(data[offset : offset + _WORD_BYTES], _BYTE_ORDER)
-            for offset in range(0, LINE_SIZE_BYTES, _WORD_BYTES)
-        ]
+        """Compress one 64-byte line (see :class:`Compressor`).
 
-        writer = _BitWriter()
+        All 16 words are classified at once with numpy array
+        predicates (one boolean vector per pattern class; the first
+        matching row of the predicate matrix is the word's prefix).
+        Only the final variable-width bit packing walks the 16
+        precomputed prefixes sequentially.
+        """
+        self._check_input(data)
+        word_arr = np.frombuffer(data, dtype="<u4")
+        signed_arr = word_arr.view("<i4")
+        low_half = word_arr & 0xFFFF
+        high_half = word_arr >> 16
+
+        # Rows are ordered by prefix (SE4 .. UNCOMPRESSED); argmax picks
+        # the first matching class, the all-True tail row is the default.
+        predicate_matrix = np.array((
+            (signed_arr >= -8) & (signed_arr < 8),
+            (signed_arr >= -128) & (signed_arr < 128),
+            (signed_arr >= -32768) & (signed_arr < 32768),
+            low_half == 0,
+            (((high_half + 128) & 0xFFFF) < 256)
+            & (((low_half + 128) & 0xFFFF) < 256),
+            word_arr == (word_arr & 0xFF) * 0x01010101,
+            np.ones(_WORDS_PER_LINE, dtype=bool),
+        ))
+        prefixes = (predicate_matrix.argmax(axis=0) + _PREFIX_SE4).tolist()
+        words = word_arr.tolist()
+        signed = signed_arr.tolist()
+
+        value = 0
+        bit_count = 0
         index = 0
         while index < _WORDS_PER_LINE:
             word = words[index]
@@ -124,14 +127,34 @@ class FPCCompressor(Compressor):
                     and run < _MAX_ZERO_RUN
                 ):
                     run += 1
-                writer.write(_PREFIX_ZERO_RUN, _PREFIX_BITS)
-                writer.write(run - 1, 3)
+                # Prefix 000 followed by the 3-bit run length.
+                value = (value << 6) | (run - 1)
+                bit_count += 6
                 index += run
                 continue
-            self._encode_word(writer, word)
+            prefix = prefixes[index]
+            if prefix == _PREFIX_SE4:
+                payload = signed[index] & 0xF
+            elif prefix == _PREFIX_SE8:
+                payload = signed[index] & 0xFF
+            elif prefix == _PREFIX_SE16:
+                payload = signed[index] & 0xFFFF
+            elif prefix == _PREFIX_HI_HALF:
+                payload = word >> 16
+            elif prefix == _PREFIX_TWO_BYTES:
+                payload = ((word >> 16) & 0xFF) << 8 | (word & 0xFF)
+            elif prefix == _PREFIX_REPEATED:
+                payload = word & 0xFF
+            else:
+                payload = word
+            width = _PAYLOAD_WIDTH[prefix]
+            value = (value << (_PREFIX_BITS + width)) | (prefix << width) | payload
+            bit_count += _PREFIX_BITS + width
             index += 1
 
-        return CompressionResult(self.name, ENC_FPC, writer.bit_count, writer.to_bytes())
+        pad = (-bit_count) % 8
+        payload = (value << pad).to_bytes((bit_count + pad) // 8, "big")
+        return CompressionResult(self.name, ENC_FPC, bit_count, payload)
 
     def decompress(self, result: CompressionResult) -> bytes:
         """Reconstruct the 64-byte line (see :class:`Compressor`)."""
@@ -144,31 +167,6 @@ class FPCCompressor(Compressor):
         if len(words) != _WORDS_PER_LINE:
             raise CompressionError("fpc: bitstream decodes to a wrong word count")
         return b"".join(word.to_bytes(_WORD_BYTES, _BYTE_ORDER) for word in words)
-
-    def _encode_word(self, writer: _BitWriter, word: int) -> None:
-        signed = _to_signed32(word)
-        if _sign_extends(signed, 4):
-            writer.write(_PREFIX_SE4, _PREFIX_BITS)
-            writer.write(signed, 4)
-        elif _sign_extends(signed, 8):
-            writer.write(_PREFIX_SE8, _PREFIX_BITS)
-            writer.write(signed, 8)
-        elif _sign_extends(signed, 16):
-            writer.write(_PREFIX_SE16, _PREFIX_BITS)
-            writer.write(signed, 16)
-        elif word & 0xFFFF == 0:
-            writer.write(_PREFIX_HI_HALF, _PREFIX_BITS)
-            writer.write(word >> 16, 16)
-        elif self._both_halves_byte_extend(word):
-            writer.write(_PREFIX_TWO_BYTES, _PREFIX_BITS)
-            writer.write((word >> 16) & 0xFF, 8)
-            writer.write(word & 0xFF, 8)
-        elif self._repeated_bytes(word):
-            writer.write(_PREFIX_REPEATED, _PREFIX_BITS)
-            writer.write(word & 0xFF, 8)
-        else:
-            writer.write(_PREFIX_UNCOMPRESSED, _PREFIX_BITS)
-            writer.write(word, 32)
 
     def _decode_word(self, reader: _BitReader, prefix: int) -> list[int]:
         if prefix == _PREFIX_ZERO_RUN:
@@ -192,19 +190,6 @@ class FPCCompressor(Compressor):
         if prefix == _PREFIX_UNCOMPRESSED:
             return [reader.read(32)]
         raise CompressionError(f"fpc: invalid prefix {prefix:03b}")
-
-    @staticmethod
-    def _both_halves_byte_extend(word: int) -> bool:
-        for half in ((word >> 16) & 0xFFFF, word & 0xFFFF):
-            signed = half - (1 << 16) if half >= (1 << 15) else half
-            if not _sign_extends(signed, 8):
-                return False
-        return True
-
-    @staticmethod
-    def _repeated_bytes(word: int) -> bool:
-        byte = word & 0xFF
-        return word == byte * 0x01010101
 
     @staticmethod
     def _sign_extend(value: int, bits: int) -> int:

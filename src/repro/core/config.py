@@ -48,6 +48,11 @@ class SystemConfig:
     #: Start-Gap regions (the original paper's scalable configuration;
     #: 1 = the single-region scheme the DSN'17 baseline assumes).
     start_gap_regions: int = 1
+    #: Content-addressed compression-cache entries (distinct 64-byte
+    #: lines whose CompressionResult is memoized).  Purely a simulator
+    #: speed knob -- results are bit-for-bit identical either way.
+    #: 0 disables the cache.
+    compression_cache_lines: int = 1024
 
     def __post_init__(self) -> None:
         if self.threshold1 < 1 or self.threshold1 > 64:
@@ -62,6 +67,8 @@ class SystemConfig:
             raise ValueError("spare_line_fraction must be in [0, 1)")
         if self.start_gap_regions < 1:
             raise ValueError("start_gap_regions must be positive")
+        if self.compression_cache_lines < 0:
+            raise ValueError("compression_cache_lines must be >= 0")
         if not self.use_compression and (
             self.use_intra_wear_leveling or self.use_dead_block_revival
         ):

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..compression import BestOfCompressor, CompressionResult
+from ..compression import BestOfCompressor, CachingCompressor, CompressionResult
 from ..correction import make_scheme
 from ..correction.freep import FreePRemapper
 from ..engine.context import ControllerStats, EngineState, WriteResult
@@ -93,10 +93,17 @@ class CompressedPCMController:
             else None
         )
         array_cls = PCMBankArray if cell_type == "slc" else MLCBankArray
+        engine_compressor = compressor or BestOfCompressor()
+        if config.use_compression and config.compression_cache_lines:
+            # Content-addressed memoization; transparent (the cached
+            # results are the same frozen CompressionResult objects).
+            engine_compressor = CachingCompressor(
+                engine_compressor, capacity=config.compression_cache_lines
+            )
         self.engine = EngineState(
             config=config,
             scheme=make_scheme(config.correction_scheme),
-            compressor=compressor or BestOfCompressor(),
+            compressor=engine_compressor,
             memory=array_cls(physical, endurance_model, rng, fault_mode),
             start_gap=start_gap,
             metadata=[LineMetadata() for _ in range(physical)],

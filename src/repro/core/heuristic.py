@@ -35,6 +35,13 @@ class HeuristicDecision:
     step: int
 
 
+#: The three possible decisions, pre-built: one is returned per write
+#: on the simulator's hot path, so construction cost matters.
+_STEP1 = HeuristicDecision(compress=True, step=1)
+_STEP2 = HeuristicDecision(compress=False, step=2)
+_STEP3 = HeuristicDecision(compress=True, step=3)
+
+
 class BitFlipHeuristic:
     """Figure 8 decision logic with configurable thresholds."""
 
@@ -62,13 +69,13 @@ class BitFlipHeuristic:
             raise ValueError(f"compressed size {new_size} out of range")
 
         if new_size < self.threshold1:
-            return HeuristicDecision(compress=True, step=1)
+            return _STEP1
 
         if metadata.sc_saturated:
-            return HeuristicDecision(compress=False, step=2)
+            return _STEP2
 
         if abs(metadata.stored_size - new_size) < self.threshold2:
             metadata.decrement_sc()
         else:
             metadata.increment_sc()
-        return HeuristicDecision(compress=True, step=3)
+        return _STEP3

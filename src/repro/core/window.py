@@ -16,15 +16,66 @@ case returns the hint immediately.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
 
 from ..correction import CorrectionScheme
+from ..pcm.bits import bits_to_bytes, bytes_to_bits
 
 LINE_BYTES = 64
 LINE_BITS = 512
 
 
 _MASK_CACHE: dict[tuple[int, int, int], np.ndarray] = {}
+#: Content-addressed LRU of unpacked payload bit arrays (read-only);
+#: write streams repeat payloads heavily, so placement skips the
+#: bytes->bits unpack on a hit.
+_PAYLOAD_BITS_CACHE: "OrderedDict[bytes, np.ndarray]" = OrderedDict()
+_PAYLOAD_BITS_CACHE_CAPACITY = 4096
+
+
+def _payload_bits(payload: bytes) -> np.ndarray:
+    """Cached ``bytes_to_bits(payload)``, read-only."""
+    cached = _PAYLOAD_BITS_CACHE.get(payload)
+    if cached is not None:
+        _PAYLOAD_BITS_CACHE.move_to_end(payload)
+        return cached
+    bits = bytes_to_bits(payload)
+    bits.setflags(write=False)
+    _PAYLOAD_BITS_CACHE[payload] = bits
+    if len(_PAYLOAD_BITS_CACHE) > _PAYLOAD_BITS_CACHE_CAPACITY:
+        _PAYLOAD_BITS_CACHE.popitem(last=False)
+    return bits
+_INDEX_CACHE: dict[tuple[int, int, int], np.ndarray] = {}
+_BIT_INDEX_CACHE: dict[tuple[int, int, int], np.ndarray] = {}
+
+
+def _window_byte_indices(
+    start_byte: int, size_bytes: int, line_bytes: int
+) -> np.ndarray:
+    """Cached (start + arange(size)) % line byte-index vector, read-only."""
+    key = (start_byte, size_bytes, line_bytes)
+    indices = _INDEX_CACHE.get(key)
+    if indices is None:
+        indices = (start_byte + np.arange(size_bytes)) % line_bytes
+        indices.setflags(write=False)
+        _INDEX_CACHE[key] = indices
+    return indices
+
+
+def _window_bit_indices(
+    start_byte: int, size_bytes: int, line_bytes: int
+) -> np.ndarray:
+    """Cached flat bit-index vector of a byte window, read-only."""
+    key = (start_byte, size_bytes, line_bytes)
+    indices = _BIT_INDEX_CACHE.get(key)
+    if indices is None:
+        byte_indices = _window_byte_indices(start_byte, size_bytes, line_bytes)
+        indices = (byte_indices[:, None] * 8 + np.arange(8)).ravel()
+        indices.setflags(write=False)
+        _BIT_INDEX_CACHE[key] = indices
+    return indices
 
 
 def window_mask(start_byte: int, size_bytes: int, line_bytes: int = LINE_BYTES) -> np.ndarray:
@@ -40,7 +91,7 @@ def window_mask(start_byte: int, size_bytes: int, line_bytes: int = LINE_BYTES) 
     key = (start_byte, size_bytes, line_bytes)
     mask = _MASK_CACHE.get(key)
     if mask is None:
-        byte_indices = (start_byte + np.arange(size_bytes)) % line_bytes
+        byte_indices = _window_byte_indices(start_byte, size_bytes, line_bytes)
         mask = np.zeros((line_bytes, 8), dtype=bool)
         mask[byte_indices] = True
         mask = mask.reshape(-1)
@@ -53,15 +104,11 @@ def place_bytes(
     base: np.ndarray, payload: bytes, start_byte: int, line_bytes: int = LINE_BYTES
 ) -> np.ndarray:
     """Lay ``payload`` into a copy of ``base`` bits at a byte window."""
-    from ..pcm import bytes_to_bits
-
     if len(payload) > line_bytes:
         raise ValueError("payload longer than the line")
     target = base.copy()
-    byte_indices = (start_byte + np.arange(len(payload))) % line_bytes
-    target.reshape(line_bytes, 8)[byte_indices] = bytes_to_bits(payload).reshape(
-        len(payload), 8
-    )
+    bit_indices = _window_bit_indices(start_byte, len(payload), line_bytes)
+    target[bit_indices] = _payload_bits(payload)
     return target
 
 
@@ -69,13 +116,10 @@ def extract_bytes(
     bits: np.ndarray, start_byte: int, size_bytes: int, line_bytes: int = LINE_BYTES
 ) -> bytes:
     """Read ``size_bytes`` from a (possibly wrapping) byte window."""
-    from ..pcm import bits_to_bytes
-
     if size_bytes == 0:
         return b""
-    byte_indices = (start_byte + np.arange(size_bytes)) % line_bytes
-    window_bits = bits.reshape(line_bytes, 8)[byte_indices].reshape(-1)
-    return bits_to_bytes(window_bits)
+    bit_indices = _window_bit_indices(start_byte, size_bytes, line_bytes)
+    return bits_to_bytes(bits[bit_indices])
 
 
 def faults_in_window(

@@ -27,7 +27,10 @@ DEFAULT_BLOCK_BITS = 512
 
 def normalize_faults(fault_positions: Iterable[int], block_bits: int) -> np.ndarray:
     """Validate and deduplicate fault positions into a sorted array."""
-    faults = np.unique(np.asarray(list(fault_positions), dtype=np.int64))
+    if isinstance(fault_positions, np.ndarray):
+        faults = np.unique(fault_positions.astype(np.int64, copy=False))
+    else:
+        faults = np.unique(np.asarray(list(fault_positions), dtype=np.int64))
     if faults.size and (faults[0] < 0 or faults[-1] >= block_bits):
         raise ValueError(
             f"fault positions must lie in [0, {block_bits}), got "

@@ -21,6 +21,7 @@ their historical names.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 import numpy as np
 
@@ -34,9 +35,14 @@ from ..correction.freep import FreePRemapper
 from ..wearleveling import IntraLineWearLeveler
 
 
-@dataclass(frozen=True)
-class WriteResult:
-    """Outcome of one engine write."""
+class WriteResult(NamedTuple):
+    """Outcome of one engine write.
+
+    A ``NamedTuple`` rather than a frozen dataclass: one is built per
+    write on the simulator's hot path, and tuple construction is
+    several times cheaper while keeping the same immutable,
+    attribute-accessed surface.
+    """
 
     physical: int
     compressed: bool
@@ -71,6 +77,11 @@ class ControllerStats:
     # -- CompressStage ---------------------------------------------------
     heuristic_steps: dict[int, int] = field(default_factory=dict)
     sc_updates: int = 0
+    #: Content-addressed compression-cache counters, mirrored from the
+    #: :class:`~repro.compression.cache.CachingCompressor` (both stay 0
+    #: when the cache is disabled or compression is off).
+    compression_cache_hits: int = 0
+    compression_cache_misses: int = 0
     # -- PlacementStage --------------------------------------------------
     window_slides: int = 0
     # -- ProgramStage ----------------------------------------------------
@@ -116,6 +127,9 @@ class EngineState:
     heuristic: BitFlipHeuristic | None = None
     intra_wl: IntraLineWearLeveler | None = None
     remapper: FreePRemapper | None = None
+    #: Maintained count of True entries in ``dead`` -- kept in sync by
+    #: RemapStage.mark_dead/revive so ``dead_fraction`` is O(1).
+    dead_count: int = 0
 
     def bank_of(self, physical: int) -> int:
         """The bank a physical line belongs to (round-robin striping)."""
@@ -130,10 +144,10 @@ class EngineState:
     @property
     def dead_fraction(self) -> float:
         """Dead blocks as a fraction of the nominal (non-spare) capacity."""
-        return float(self.dead.sum()) / self.capacity_lines
+        return self.dead_count / self.capacity_lines
 
 
-@dataclass
+@dataclass(slots=True)
 class WriteContext:
     """Scratch state of one write as it flows through the pipeline.
 
@@ -154,3 +168,7 @@ class WriteContext:
     size: int = LINE_BYTES
     hint: int = 0
     step: int = 0
+    #: Maintained fault count of the current physical line: set by the
+    #: placement stage, bumped by the program stage when cells wear out,
+    #: so verify/commit need no further memory lookups.
+    line_faults: int = 0

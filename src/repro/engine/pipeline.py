@@ -11,8 +11,6 @@ never touches this file.
 
 from __future__ import annotations
 
-import dataclasses
-
 from ..core.window import LINE_BYTES
 from .context import EngineState, WriteContext, WriteResult
 from .stages import (
@@ -86,7 +84,7 @@ class WritePipeline:
             return result
         if was_dead:
             self.remap.revive(physical)
-            result = dataclasses.replace(result, revived=True)
+            result = result._replace(revived=True)
         self.placement.note_commit(physical)
         return result
 

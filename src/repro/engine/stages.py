@@ -60,6 +60,12 @@ class CompressStage(Stage):
 
     name = "compress"
 
+    def __init__(self, state: EngineState) -> None:
+        super().__init__(state)
+        # Bound once: the content-addressed cache (when a
+        # CachingCompressor wraps the best-of policy), else None.
+        self._cache = state.compressor if hasattr(state.compressor, "hits") else None
+
     def run(self, ctx: WriteContext) -> None:
         """Fix the write's storage format on the context."""
         state = self.state
@@ -74,6 +80,12 @@ class CompressStage(Stage):
         else:
             ctx.payload = ctx.data
             ctx.size = LINE_BYTES
+        # Mirror the cache counters into the stats every write so they
+        # are always current when a caller snapshots ControllerStats.
+        cache = self._cache
+        if cache is not None:
+            state.stats.compression_cache_hits = cache.hits
+            state.stats.compression_cache_misses = cache.misses
 
     def _choose_format(self, meta, data: bytes):
         """Compression decision: (store compressed?, result, Fig-8 step)."""
@@ -127,8 +139,15 @@ class PlacementStage(Stage):
     def place(self, physical: int, ctx: WriteContext) -> int | None:
         """First feasible window start for the payload, or None."""
         state = self.state
-        faults = state.memory.fault_positions(physical)
-        start = find_window(faults, ctx.size, state.scheme, start_hint=ctx.hint)
+        ctx.line_faults = state.memory.fault_count(physical)
+        if ctx.line_faults <= state.scheme.deterministic_capability:
+            # Any placement works (find_window's fast path, reached here
+            # without materializing the fault positions -- the maintained
+            # per-block count makes this O(1)).
+            start = ctx.hint % LINE_BYTES
+        else:
+            faults = state.memory.fault_positions(physical)
+            start = find_window(faults, ctx.size, state.scheme, start_hint=ctx.hint)
         if start is None:
             return None
         if ctx.compressed and start != state.metadata[physical].start_pointer:
@@ -165,12 +184,17 @@ class ProgramStage(Stage):
     ) -> tuple[np.ndarray, int]:
         """Write the payload at ``start``; returns (target bits, flips)."""
         state = self.state
-        target = place_bytes(state.memory.read_bits(physical), ctx.payload, start)
-        mask = window_mask(start, ctx.size)
+        stored = state.memory.read_bits(physical)
+        target = place_bytes(stored, ctx.payload, start)
+        # A full-line window masks nothing; skip building/applying it.
+        mask = window_mask(start, ctx.size) if ctx.size != LINE_BYTES else None
         outcome = state.memory.write(physical, target, update_mask=mask)
         state.stats.total_flips += outcome.programmed_flips
         state.stats.set_flips += outcome.set_flips
         state.stats.reset_flips += outcome.reset_flips
+        worn = outcome.new_fault_positions.size
+        if worn:
+            ctx.line_faults += worn
         return target, outcome.programmed_flips
 
     def describe(self) -> str:
@@ -194,6 +218,8 @@ class CorrectionStage(Stage):
     def verify(self, physical: int, ctx: WriteContext, start: int) -> bool:
         """Whether the scheme can mask the window's post-write faults."""
         state = self.state
+        if ctx.line_faults <= state.scheme.deterministic_capability:
+            return True  # even with every fault inside the window
         faults_after = state.memory.fault_positions(physical)
         inside = faults_in_window(faults_after, start, ctx.size)
         return inside.size <= state.scheme.deterministic_capability or (
@@ -222,12 +248,15 @@ class CorrectionStage(Stage):
         meta.encoding = new_encoding
         # Refresh correction state: the scheme remembers the written
         # value of every stuck cell inside the window.
-        mask = window_mask(start, ctx.size)
-        faulty = state.memory.faulty_mask(physical) & mask
-        positions = np.flatnonzero(faulty)
-        state.repairs[physical] = {
-            int(position): int(target[position]) for position in positions
-        }
+        if ctx.line_faults:
+            mask = window_mask(start, ctx.size)
+            faulty = state.memory.faulty_mask(physical) & mask
+            positions = np.flatnonzero(faulty)
+            state.repairs[physical] = {
+                int(position): int(target[position]) for position in positions
+            }
+        elif state.repairs[physical]:
+            state.repairs[physical] = {}
         if ctx.compressed:
             state.stats.compressed_writes += 1
         else:
@@ -310,6 +339,10 @@ class RemapStage(Stage):
     def mark_dead(self, physical: int) -> None:
         """Record a block death (no feasible placement, no spare)."""
         state = self.state
+        if not state.dead[physical]:
+            # A failed revival attempt re-kills an already-dead block;
+            # only a live->dead transition changes the maintained count.
+            state.dead_count += 1
         state.dead[physical] = True
         state.stats.deaths += 1
         state.death_fault_counts[physical] = state.memory.fault_count(physical)
@@ -318,6 +351,8 @@ class RemapStage(Stage):
     def revive(self, physical: int) -> None:
         """Bring a dead block back into service after a landed write."""
         state = self.state
+        if state.dead[physical]:
+            state.dead_count -= 1
         state.dead[physical] = False
         state.stats.revivals += 1
 

@@ -41,6 +41,18 @@ class LifetimeResult:
     revivals: int
     avg_faults_per_dead_block: float
     compressed_write_fraction: float
+    # Content-addressed compression-cache counters (both 0 when the
+    # cache -- a pure simulator speed knob -- is disabled).
+    compression_cache_hits: int = 0
+    compression_cache_misses: int = 0
+
+    @property
+    def compression_cache_hit_rate(self) -> float:
+        """Cache hits over lookups (0.0 when the cache never ran)."""
+        lookups = self.compression_cache_hits + self.compression_cache_misses
+        if not lookups:
+            return 0.0
+        return self.compression_cache_hits / lookups
 
     @property
     def writes_to_failure(self) -> int | None:

@@ -64,6 +64,11 @@ class LifetimeSimulator:
     ) -> None:
         if not 0 < dead_threshold <= 1:
             raise ValueError("dead threshold must be in (0, 1]")
+        if rng is not None and seed != 0:
+            raise ValueError(
+                "pass either rng= or a non-default seed=, not both "
+                "(an explicit rng would silently ignore the seed)"
+            )
         if not isinstance(source, Trace) and not hasattr(source, "next_write"):
             raise TypeError(
                 "workload source must be a Trace or provide next_write() "
@@ -139,4 +144,6 @@ class LifetimeSimulator:
             compressed_write_fraction=(
                 stats.compressed_writes / stored if stored else 0.0
             ),
+            compression_cache_hits=stats.compression_cache_hits,
+            compression_cache_misses=stats.compression_cache_misses,
         )

@@ -35,6 +35,12 @@ class PCMBankArray:
         self.stored = np.zeros((n_blocks, BLOCK_BITS), dtype=np.uint8)
         self.counts = np.zeros((n_blocks, BLOCK_BITS), dtype=np.uint64)
         self.endurance = endurance_model.sample((n_blocks, BLOCK_BITS), rng)
+        # Incrementally maintained fault state: stuck-at faults are
+        # monotone, so `faulty` and the per-block totals only ever grow,
+        # updated in O(new faults) per write instead of rescanning
+        # `counts >= endurance` (512 uint64 compares) on every query.
+        self.faulty = self.counts >= self.endurance
+        self.fault_counts = np.count_nonzero(self.faulty, axis=1)
 
     def write(
         self,
@@ -44,14 +50,20 @@ class PCMBankArray:
     ) -> WriteOutcome:
         """Program one line; see :func:`repro.pcm.block.apply_write`."""
         self._check_index(block_index)
-        return apply_write(
+        outcome = apply_write(
             self.stored[block_index],
             self.counts[block_index],
             self.endurance[block_index],
             new_bits,
             self.fault_mode,
             update_mask,
+            faulty=self.faulty[block_index],
+            has_faults=bool(self.fault_counts[block_index]),
         )
+        worn = outcome.new_fault_positions.size
+        if worn:
+            self.fault_counts[block_index] += worn
+        return outcome
 
     def write_bytes(
         self,
@@ -72,9 +84,13 @@ class PCMBankArray:
         return bits_to_bytes(self.read_bits(block_index))
 
     def faulty_mask(self, block_index: int) -> np.ndarray:
-        """Boolean mask of worn-out cells."""
+        """Boolean mask of worn-out cells (a view of maintained state).
+
+        Callers must treat the returned row as read-only; it is the
+        incrementally maintained fault mask, not a fresh array.
+        """
         self._check_index(block_index)
-        return self.counts[block_index] >= self.endurance[block_index]
+        return self.faulty[block_index]
 
     def fault_positions(self, block_index: int) -> np.ndarray:
         """Indices of worn-out cells, ascending."""
@@ -82,11 +98,12 @@ class PCMBankArray:
 
     def fault_count(self, block_index: int) -> int:
         """Number of worn-out cells."""
-        return int(np.count_nonzero(self.faulty_mask(block_index)))
+        self._check_index(block_index)
+        return int(self.fault_counts[block_index])
 
     def fault_counts_all(self) -> np.ndarray:
-        """Fault count of every block (vectorized, for progress stats)."""
-        return np.count_nonzero(self.counts >= self.endurance, axis=1)
+        """Fault count of every block (maintained, O(n_blocks))."""
+        return self.fault_counts.copy()
 
     def total_programmed_flips(self) -> int:
         """Total cell programs so far (energy/wear proxy)."""

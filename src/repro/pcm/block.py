@@ -26,6 +26,10 @@ from .variation import EnduranceModel
 #: Cells per memory line (64 bytes).
 BLOCK_BITS = 512
 
+#: Shared empty position vector for fault-free outcomes (read-only).
+_NO_POSITIONS = np.empty(0, dtype=np.intp)
+_NO_POSITIONS.setflags(write=False)
+
 
 @dataclass(frozen=True)
 class WriteOutcome:
@@ -58,6 +62,18 @@ class WriteOutcome:
         return self.error_positions.size == 0
 
 
+#: Shared outcome for a differential-write no-op on a fault-free line
+#: (immutable, so every such write can return the same object).
+_CLEAN_OUTCOME = WriteOutcome(
+    attempted_flips=0,
+    programmed_flips=0,
+    set_flips=0,
+    reset_flips=0,
+    new_fault_positions=_NO_POSITIONS,
+    error_positions=_NO_POSITIONS,
+)
+
+
 def apply_write(
     stored: np.ndarray,
     counts: np.ndarray,
@@ -65,6 +81,8 @@ def apply_write(
     new_bits: np.ndarray,
     fault_mode: FaultMode = FaultMode.STUCK_AT_LAST,
     update_mask: np.ndarray | None = None,
+    faulty: np.ndarray | None = None,
+    has_faults: bool | None = None,
 ) -> WriteOutcome:
     """Program one line in place with differential-write semantics.
 
@@ -78,35 +96,78 @@ def apply_write(
             controller intends to program (e.g. only the compression
             window plus metadata).  Cells outside the mask are left
             untouched and never reported as errors.
+        faulty: Optional maintained boolean fault mask for the line.
+            When given it must equal ``counts >= endurance`` on entry;
+            it is updated in place in O(new faults), sparing the caller
+            (and this function) any full ``counts >= endurance`` rescan.
+            Stuck-at faults are monotone, so the mask only ever gains
+            ``True`` entries.
+        has_faults: Optional hint whether ``faulty`` has any ``True``
+            entry on entry (callers with a maintained fault count know
+            this for free); computed from ``faulty`` when omitted.
     """
-    faulty_before = counts >= endurance
     want = stored != new_bits
     if update_mask is not None:
         want &= update_mask
+    if faulty is None:
+        tracked = False
+        faulty = counts >= endurance
+    else:
+        tracked = True
+    # Most lines have no faults for most of their life; skipping the
+    # fault-mask arithmetic on them roughly halves this function.
+    if has_faults is None:
+        has_faults = bool(faulty.any())
 
-    programmable = want & ~faulty_before
-    counts[programmable] += 1
-    stored[programmable] = new_bits[programmable]
+    if has_faults:
+        # want & ~faulty in a single ufunc (True > False on booleans).
+        touched = (want > faulty).nonzero()[0]
+    else:
+        touched = want.nonzero()[0]
+        if touched.size == 0:
+            # Differential-write no-op on a healthy line (the common
+            # steady state when a trace is replayed): nothing to
+            # program, no errors possible.
+            return _CLEAN_OUTCOME
+    bumped = counts[touched] + 1
+    counts[touched] = bumped
+    stored[touched] = new_bits[touched]
+    new_faults = touched[bumped >= endurance[touched]]
 
-    newly_faulty = programmable & (counts >= endurance)
-    if fault_mode is FaultMode.STUCK_AT_SET:
-        stored[newly_faulty] = 1
-    elif fault_mode is FaultMode.STUCK_AT_RESET:
-        stored[newly_faulty] = 0
+    # Post-write mismatches, reconstructed without rescanning `stored`:
+    # a stuck-at-last fault never produces new errors beyond the stuck
+    # cells the write wanted to change (programmed cells match by
+    # construction, and a cell that wears out *during* the write holds
+    # the value just written).  Forced stuck-at values additionally
+    # break every newly faulty cell whose forced value is wrong.
+    forced_wrong = None
+    if fault_mode is not FaultMode.STUCK_AT_LAST and new_faults.size:
+        forced = 1 if fault_mode is FaultMode.STUCK_AT_SET else 0
+        stored[new_faults] = forced
+        forced_wrong = new_faults[new_bits[new_faults] != forced]
+    if has_faults:
+        stuck = want & faulty
+        if forced_wrong is not None:
+            stuck[forced_wrong] = True
+        errors = stuck.nonzero()[0]
+        attempted = int(np.count_nonzero(want))
+    else:
+        # No pre-existing stuck cells: the only possible mismatches are
+        # newly worn cells forced to the wrong value (already sorted).
+        errors = forced_wrong if forced_wrong is not None else _NO_POSITIONS
+        attempted = touched.size
+    if tracked:
+        faulty[new_faults] = True
 
-    mismatch = stored != new_bits
-    if update_mask is not None:
-        mismatch &= update_mask
-
-    programmed = int(np.count_nonzero(programmable))
-    set_flips = int(np.count_nonzero(programmable & (new_bits == 1)))
+    programmed = touched.size
+    set_flips = int(np.count_nonzero(new_bits[touched]))
     return WriteOutcome(
-        attempted_flips=int(np.count_nonzero(want)),
+        attempted_flips=attempted,
         programmed_flips=programmed,
         set_flips=set_flips,
         reset_flips=programmed - set_flips,
-        new_fault_positions=np.flatnonzero(newly_faulty),
-        error_positions=np.flatnonzero(mismatch),
+        new_fault_positions=new_faults,
+        error_positions=errors,
     )
 
 

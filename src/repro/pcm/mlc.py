@@ -76,6 +76,14 @@ class MLCBankArray:
         self.endurance = endurance_model.sample(
             (n_blocks, MLC_CELLS_PER_BLOCK), rng
         )
+        # Incrementally maintained cell-level fault state (see
+        # PCMBankArray): faults are monotone, so these grow in
+        # O(new faults) per write.  `fault_counts` is bit-level
+        # (matching `fault_counts_all`'s historical unit).
+        self.faulty_cells = self.counts >= self.endurance
+        self.fault_counts = (
+            np.count_nonzero(self.faulty_cells, axis=1) * MLC_BITS_PER_CELL
+        )
 
     # -- PCMBankArray-compatible interface -------------------------------
 
@@ -90,42 +98,58 @@ class MLCBankArray:
         stored = self.stored[block_index]
         counts = self.counts[block_index]
         endurance = self.endurance[block_index]
+        faulty_cells = self.faulty_cells[block_index]
 
         want = stored != new_bits.astype(np.uint8)
         if update_mask is not None:
             want = want & update_mask
 
-        faulty_cells = counts >= endurance
         cell_wants = want.reshape(MLC_CELLS_PER_BLOCK, MLC_BITS_PER_CELL).any(axis=1)
         programmable_cells = cell_wants & ~faulty_cells
+        touched_cells = np.flatnonzero(programmable_cells)
 
-        counts[programmable_cells] += 1
+        counts[touched_cells] += 1
         writable_bits = np.repeat(programmable_cells, MLC_BITS_PER_CELL) & want
         stored[writable_bits] = new_bits[writable_bits]
+        new_fault_cells = touched_cells[
+            counts[touched_cells] >= endurance[touched_cells]
+        ]
 
-        newly_faulty_cells = programmable_cells & (counts >= endurance)
-        if self.fault_mode is FaultMode.STUCK_AT_SET:
-            stored[np.repeat(newly_faulty_cells, MLC_BITS_PER_CELL)] = 1
-        elif self.fault_mode is FaultMode.STUCK_AT_RESET:
-            stored[np.repeat(newly_faulty_cells, MLC_BITS_PER_CELL)] = 0
+        # Mismatch reconstruction without rescanning `stored` (see
+        # repro.pcm.block.apply_write): under stuck-at-last the errors
+        # are exactly the wanted bits inside already-faulty cells; a
+        # forced stuck value additionally breaks every bit of a newly
+        # faulty cell whose forced value is wrong -- *both* bits are
+        # forced, even ones the write never asked to change.
+        stuck = want & np.repeat(faulty_cells, MLC_BITS_PER_CELL)
+        if self.fault_mode is not FaultMode.STUCK_AT_LAST and new_fault_cells.size:
+            forced = 1 if self.fault_mode is FaultMode.STUCK_AT_SET else 0
+            forced_bits = (
+                new_fault_cells[:, None] * MLC_BITS_PER_CELL
+                + np.arange(MLC_BITS_PER_CELL)
+            ).ravel()
+            stored[forced_bits] = forced
+            bad = forced_bits[new_bits[forced_bits] != forced]
+            if update_mask is not None:
+                bad = bad[update_mask[bad]]
+            stuck[bad] = True
+        faulty_cells[new_fault_cells] = True
+        self.fault_counts[block_index] += new_fault_cells.size * MLC_BITS_PER_CELL
 
-        mismatch = stored != new_bits
-        if update_mask is not None:
-            mismatch = mismatch & update_mask
-
+        new_fault_bits = (
+            new_fault_cells[:, None] * MLC_BITS_PER_CELL
+            + np.arange(MLC_BITS_PER_CELL)
+        ).ravel()
         programmed_bits = int(np.count_nonzero(writable_bits))
         set_bits = int(np.count_nonzero(writable_bits & (new_bits == 1)))
-        new_fault_bits = np.flatnonzero(
-            np.repeat(newly_faulty_cells, MLC_BITS_PER_CELL)
-        )
         return MLCWriteOutcome(
             attempted_flips=int(np.count_nonzero(want)),
             programmed_flips=programmed_bits,
             set_flips=set_bits,
             reset_flips=programmed_bits - set_bits,
             new_fault_positions=new_fault_bits,
-            error_positions=np.flatnonzero(mismatch),
-            programmed_cells=int(np.count_nonzero(programmable_cells)),
+            error_positions=np.flatnonzero(stuck),
+            programmed_cells=touched_cells.size,
         )
 
     def write_bytes(
@@ -149,8 +173,7 @@ class MLCBankArray:
     def faulty_mask(self, block_index: int) -> np.ndarray:
         """Per-*bit* fault mask (both bits of a dead cell are stuck)."""
         self._check_index(block_index)
-        faulty_cells = self.counts[block_index] >= self.endurance[block_index]
-        return np.repeat(faulty_cells, MLC_BITS_PER_CELL)
+        return np.repeat(self.faulty_cells[block_index], MLC_BITS_PER_CELL)
 
     def fault_positions(self, block_index: int) -> np.ndarray:
         """Indices of worn-out cells, ascending."""
@@ -158,12 +181,12 @@ class MLCBankArray:
 
     def fault_count(self, block_index: int) -> int:
         """Number of worn-out cells."""
-        return int(np.count_nonzero(self.faulty_mask(block_index)))
+        self._check_index(block_index)
+        return int(self.fault_counts[block_index])
 
     def fault_counts_all(self) -> np.ndarray:
-        """Fault count of every block (vectorized)."""
-        faulty = self.counts >= self.endurance
-        return np.count_nonzero(faulty, axis=1) * MLC_BITS_PER_CELL
+        """Fault count of every block (maintained, O(n_blocks))."""
+        return self.fault_counts.copy()
 
     def total_programmed_flips(self) -> int:
         """Total cell programs (the MLC wear/energy unit)."""

@@ -1,0 +1,92 @@
+"""CachingCompressor: LRU behaviour, counters, and transparency."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression import BestOfCompressor, CachingCompressor
+
+
+def _line(fill: int) -> bytes:
+    return bytes([fill]) * 64
+
+
+@pytest.fixture()
+def cache():
+    return CachingCompressor(BestOfCompressor(), capacity=3)
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError, match="capacity"):
+        CachingCompressor(BestOfCompressor(), capacity=0)
+    with pytest.raises(ValueError, match="capacity"):
+        CachingCompressor(BestOfCompressor(), capacity=-1)
+
+
+def test_hit_and_miss_counters(cache):
+    cache.compress(_line(1))
+    cache.compress(_line(2))
+    cache.compress(_line(1))
+    cache.compress(_line(1))
+    assert (cache.misses, cache.hits) == (2, 2)
+    assert len(cache) == 2
+
+
+def test_hits_return_the_memoized_result_object(cache):
+    first = cache.compress(_line(7))
+    assert cache.compress(_line(7)) is first
+
+
+def test_lru_evicts_least_recently_used(cache):
+    for fill in (1, 2, 3):
+        cache.compress(_line(fill))
+    cache.compress(_line(1))  # touch 1: now 2 is the LRU entry
+    cache.compress(_line(4))  # evicts 2
+    assert len(cache) == 3
+    hits, misses = cache.hits, cache.misses
+    cache.compress(_line(2))  # miss: 2 was evicted (and 3 goes next)
+    assert cache.misses == misses + 1
+    cache.compress(_line(1))
+    cache.compress(_line(4))
+    assert cache.hits == hits + 2
+
+
+def test_results_match_the_inner_compressor(cache):
+    rng = np.random.default_rng(5)
+    inner = BestOfCompressor()
+    for _ in range(20):
+        line = rng.bytes(64)
+        assert cache.compress(line) == inner.compress(line)
+        assert cache.compress(line) == inner.compress(line)  # hit path too
+
+
+def test_buffer_inputs_are_snapshotted(cache):
+    payload = bytearray(_line(9))
+    result = cache.compress(payload)
+    payload[0] ^= 0xFF  # mutating the caller's buffer must not corrupt
+    assert cache.compress(_line(9)) is result
+
+
+def test_clear_drops_entries_but_keeps_counters(cache):
+    cache.compress(_line(1))
+    cache.compress(_line(1))
+    cache.clear()
+    assert len(cache) == 0
+    assert (cache.hits, cache.misses) == (1, 1)
+    cache.compress(_line(1))
+    assert cache.misses == 2
+
+
+def test_wrapper_is_transparent(cache):
+    inner = cache.inner
+    assert cache.name == inner.name
+    assert cache.decompression_latency_cycles == inner.decompression_latency_cycles
+    assert cache.encoding_space == inner.encoding_space
+    assert cache.members is inner.members  # __getattr__ delegation
+    result = cache.compress(_line(3))
+    assert cache.decompress(result) == _line(3)
+    # The bound metadata codecs round-trip like the inner ones.
+    encoded = cache.encode_metadata(result)
+    assert encoded == inner.encode_metadata(result)
+    assert cache.decode_metadata(encoded) == inner.decode_metadata(encoded)
