@@ -53,11 +53,19 @@ def run_workload_study(
     seed: int = 0,
     max_writes: int = 4_000_000,
     workers: int = 1,
+    checkpoint_dir: str | None = None,
+    checkpoint_interval: int = 0,
+    resume: bool = False,
+    progress: bool = False,
 ) -> WorkloadStudy:
     """One Figure 10 column group (all systems, one workload).
 
     ``workers > 1`` parallelizes the per-system runs through
-    :class:`~repro.engine.SweepRunner` with identical results.
+    :class:`~repro.engine.SweepRunner` with identical results.  The
+    durability knobs (``checkpoint_dir``, ``checkpoint_interval``,
+    ``resume``, ``progress``) pass straight through to
+    :func:`repro.lifetime.run_system_comparison`; none of them affect
+    the simulated results.
     """
     results = run_system_comparison(
         workload,
@@ -68,6 +76,10 @@ def run_workload_study(
         seed=seed,
         max_writes=max_writes,
         workers=workers,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_interval=checkpoint_interval,
+        resume=resume,
+        progress=progress,
     )
     unfinished = [name for name, result in results.items() if not result.failed]
     if unfinished:
@@ -102,6 +114,9 @@ def run_full_study(
             endurance_mean=kwargs.get("endurance_mean", 60.0),
             endurance_cov=endurance_cov,
             max_writes=kwargs.get("max_writes", 4_000_000),
+            checkpoint_dir=kwargs.get("checkpoint_dir"),
+            checkpoint_interval=kwargs.get("checkpoint_interval", 0),
+            resume=kwargs.get("resume", False),
         )
         grid = runner.run(workloads, seed=kwargs.get("seed", 0))
         studies = {}

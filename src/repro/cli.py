@@ -64,7 +64,7 @@ def build_parser() -> argparse.ArgumentParser:
     lifetime.add_argument("--systems", nargs="+", default=list(EVALUATED_SYSTEMS),
                           choices=system_names(), metavar="SYSTEM",
                           help="registered systems (see `repro systems`)")
-    lifetime.add_argument("--lines", type=int, default=96)
+    lifetime.add_argument("--lines", type=_positive_int, default=96)
     lifetime.add_argument("--endurance", type=float, default=60.0)
     lifetime.add_argument("--cov", type=float, default=0.15)
     lifetime.add_argument("--seed", type=int, default=0)
@@ -74,32 +74,47 @@ def build_parser() -> argparse.ArgumentParser:
     lifetime.add_argument("--profile", metavar="FILE", default=None,
                           help="dump a cProfile of the run to FILE and print "
                           "the top functions by cumulative time")
+    lifetime.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                          help="write durable per-run checkpoints and JSONL "
+                          "heartbeat telemetry under DIR (one "
+                          "<workload>-<system>/ subdirectory per run)")
+    lifetime.add_argument("--checkpoint-interval", type=_positive_int,
+                          default=None, metavar="WRITES",
+                          help="writes between checkpoints (default: "
+                          "100000; requires --checkpoint-dir)")
+    lifetime.add_argument("--resume", action="store_true",
+                          help="resume each run from its latest checkpoint "
+                          "under --checkpoint-dir (bit-identical to an "
+                          "uninterrupted run)")
+    lifetime.add_argument("--progress", action="store_true",
+                          help="print per-run heartbeat progress lines to "
+                          "stderr")
 
     montecarlo = subparsers.add_parser("montecarlo", help="Figure 9 crossings")
     montecarlo.add_argument("--sizes", nargs="+", type=int, default=[16, 32, 64])
-    montecarlo.add_argument("--trials", type=int, default=150)
+    montecarlo.add_argument("--trials", type=_positive_int, default=150)
     montecarlo.add_argument("--schemes", nargs="+", default=list(PAPER_SCHEMES))
     montecarlo.add_argument("--seed", type=int, default=0)
 
     compress = subparsers.add_parser("compress", help="Figures 3/6/11 statistics")
     _add_workloads_option(compress, list(WORKLOAD_ORDER))
-    compress.add_argument("--writes", type=int, default=3000)
+    compress.add_argument("--writes", type=_positive_int, default=3000)
     compress.add_argument("--seed", type=int, default=0)
 
     flips = subparsers.add_parser("flips", help="Figure 5 flip split")
     _add_workloads_option(flips, list(WORKLOAD_ORDER))
-    flips.add_argument("--writes", type=int, default=4000)
+    flips.add_argument("--writes", type=_positive_int, default=4000)
     flips.add_argument("--seed", type=int, default=2)
 
     perf = subparsers.add_parser("perf", help="Section V-B overheads")
     _add_workloads_option(perf, list(WORKLOAD_ORDER))
-    perf.add_argument("--samples", type=int, default=1000)
+    perf.add_argument("--samples", type=_positive_int, default=1000)
 
     trace = subparsers.add_parser("trace", help="generate a trace file")
     trace.add_argument("workload", choices=sorted(WORKLOAD_ORDER))
     trace.add_argument("output", help="output path (binary trace)")
-    trace.add_argument("--lines", type=int, default=1024)
-    trace.add_argument("--writes", type=int, default=100_000)
+    trace.add_argument("--lines", type=_positive_int, default=1024)
+    trace.add_argument("--writes", type=_positive_int, default=100_000)
     trace.add_argument("--seed", type=int, default=0)
 
     systems = subparsers.add_parser(
@@ -151,6 +166,9 @@ def _run_lifetime(args: argparse.Namespace) -> None:
             workload, systems=systems, n_lines=args.lines,
             endurance_mean=args.endurance, endurance_cov=args.cov,
             seed=args.seed, workers=args.workers,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_interval=args.checkpoint_interval or 0,
+            resume=args.resume, progress=args.progress,
         )
         row = f"{workload:12}"
         for system in systems:
@@ -279,7 +297,15 @@ _COMMANDS = {
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "lifetime" and args.checkpoint_dir is None:
+        # The durability knobs are meaningless without a directory to
+        # put checkpoints in; fail loudly instead of silently ignoring.
+        if args.resume:
+            parser.error("--resume requires --checkpoint-dir")
+        if args.checkpoint_interval is not None:
+            parser.error("--checkpoint-interval requires --checkpoint-dir")
     _COMMANDS[args.command](args)
     return 0
 

@@ -85,5 +85,16 @@ class CachingCompressor:
     def __getattr__(self, attribute: str):
         # Everything not defined here (decompress, compress_all,
         # members, encode_metadata, decode_metadata, ...) is the inner
-        # compressor's business.
+        # compressor's business.  Two lookups must fail instead of
+        # delegating: ``inner`` itself (pickle/copy build an empty
+        # instance and probe attributes *before* restoring __dict__, so
+        # delegating would recurse forever) and dunders (protocol
+        # probes like __getstate__/__reduce_ex__/__deepcopy__ must see
+        # this object's own protocol surface, not the inner one's).
+        if attribute == "inner" or (
+            attribute.startswith("__") and attribute.endswith("__")
+        ):
+            raise AttributeError(
+                f"{type(self).__name__!s} object has no attribute {attribute!r}"
+            )
         return getattr(self.inner, attribute)

@@ -16,6 +16,7 @@ from .heuristic import BitFlipHeuristic, HeuristicDecision
 from .metadata import METADATA_BITS, SC_MAX, LineMetadata
 from .window import (
     LINE_BYTES,
+    clear_window_caches,
     extract_bytes,
     faults_in_window,
     find_window,
@@ -38,6 +39,7 @@ __all__ = [
     "SystemConfig",
     "WriteResult",
     "baseline",
+    "clear_window_caches",
     "comp",
     "comp_w",
     "comp_wf",

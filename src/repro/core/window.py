@@ -27,12 +27,40 @@ LINE_BYTES = 64
 LINE_BITS = 512
 
 
+# Module-level placement caches.  They are process-global (shared by
+# every simulator in the process) and bounded:
+#
+# * ``_MASK_CACHE`` / ``_INDEX_CACHE`` / ``_BIT_INDEX_CACHE`` are keyed
+#   by ``(start_byte, size_bytes, line_bytes)``, so each holds at most
+#   ``line_bytes**2`` entries per line geometry in use (4096 for the
+#   standard 64-byte line);
+# * ``_PAYLOAD_BITS_CACHE`` is an LRU capped at
+#   ``_PAYLOAD_BITS_CACHE_CAPACITY`` payloads.
+#
+# Bounded is not free: a long-lived process that runs many sweeps keeps
+# all four populated for its lifetime.  :func:`clear_window_caches` is
+# the lifecycle hook that releases them; the sweep runner calls it on
+# teardown (``SweepRunner.run_report``).
 _MASK_CACHE: dict[tuple[int, int, int], np.ndarray] = {}
 #: Content-addressed LRU of unpacked payload bit arrays (read-only);
 #: write streams repeat payloads heavily, so placement skips the
 #: bytes->bits unpack on a hit.
 _PAYLOAD_BITS_CACHE: "OrderedDict[bytes, np.ndarray]" = OrderedDict()
 _PAYLOAD_BITS_CACHE_CAPACITY = 4096
+
+
+def clear_window_caches() -> None:
+    """Release the module-level placement caches.
+
+    Purely a memory-lifecycle hook: the caches are transparent
+    memoization, so clearing them never changes behaviour -- entries
+    are rebuilt on demand.  Called from sweep-worker teardown so
+    long-lived processes do not retain cache memory across sweeps.
+    """
+    _MASK_CACHE.clear()
+    _INDEX_CACHE.clear()
+    _BIT_INDEX_CACHE.clear()
+    _PAYLOAD_BITS_CACHE.clear()
 
 
 def _payload_bits(payload: bytes) -> np.ndarray:

@@ -34,9 +34,19 @@ from .stages import (
     RemapStage,
     Stage,
 )
-from .sweep import SEED_MODES, SweepRunner, SweepTask, run_task
+from .sweep import (
+    FAILURE_MODES,
+    SEED_MODES,
+    SweepError,
+    SweepReport,
+    SweepRunner,
+    SweepTask,
+    TaskFailure,
+    run_task,
+)
 
 __all__ = [
+    "FAILURE_MODES",
     "PAPER_SYSTEMS",
     "SEED_MODES",
     "CompressStage",
@@ -47,9 +57,12 @@ __all__ = [
     "ProgramStage",
     "RemapStage",
     "Stage",
+    "SweepError",
+    "SweepReport",
     "SweepRunner",
     "SweepTask",
     "SystemSpec",
+    "TaskFailure",
     "WriteContext",
     "WritePipeline",
     "WriteResult",

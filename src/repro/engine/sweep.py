@@ -1,4 +1,4 @@
-"""Parallel (profile x system) lifetime sweep runner.
+"""Parallel, fault-tolerant (profile x system) lifetime sweep runner.
 
 A full Figure 10/13 study is dozens of completely independent lifetime
 simulations -- one per (workload profile, system) pair -- that the old
@@ -15,12 +15,25 @@ scheduling (verified by ``tests/engine/test_sweep.py``).  With
 ``seed_mode="spawned"`` each run instead gets an independent seed
 derived via :func:`repro.rng.spawn_seeds`, which is what you want when
 averaging over many sweeps rather than comparing against a serial run.
+
+Fault tolerance: tasks run as individual futures, never ``pool.map``
+(whose iteration rethrows the first worker exception and discards every
+completed sibling result).  A failing task is retried up to
+``retries`` times, then recorded as a structured :class:`TaskFailure`
+(task spec + traceback); the sweep always finishes the rest of the grid
+and reports partial results (verified by
+``tests/engine/test_sweep_failures.py``).  A JSON run-manifest of task
+outcomes can be written for post-mortems, and per-run checkpointing /
+resume (see :mod:`repro.lifetime.checkpoint`) threads through
+:class:`SweepTask` so an interrupted grid picks up where it stopped.
 """
 
 from __future__ import annotations
 
+import json
 import os
-from concurrent.futures import ProcessPoolExecutor
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 
 from ..rng import spawn_seeds
@@ -28,6 +41,12 @@ from .registry import PAPER_SYSTEMS
 
 #: Recognized per-run seeding policies.
 SEED_MODES = ("shared", "spawned")
+
+#: Recognized failure-handling policies for :meth:`SweepRunner.run`.
+FAILURE_MODES = ("raise", "collect")
+
+#: Manifest JSON schema version.
+MANIFEST_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -43,6 +62,108 @@ class SweepTask:
     max_writes: int
     cell_type: str = "slc"
     config_overrides: tuple[tuple[str, object], ...] = ()
+    #: Root checkpoint directory of the sweep; each task checkpoints
+    #: into a ``<workload>-<system>`` subdirectory.  None disables
+    #: checkpointing and telemetry for the run.
+    checkpoint_dir: str | None = None
+    #: Writes between checkpoints (only used when ``checkpoint_dir`` is
+    #: set; 0 means the simulator default).
+    checkpoint_interval: int = 0
+    #: Resume from the run directory's latest checkpoint if one exists.
+    resume: bool = False
+
+    @property
+    def run_dir(self) -> str | None:
+        """This task's checkpoint/telemetry directory (None when off)."""
+        if self.checkpoint_dir is None:
+            return None
+        return os.path.join(
+            self.checkpoint_dir, f"{self.workload}-{self.system}"
+        )
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """One task that kept failing after its retry budget."""
+
+    task: SweepTask
+    error_type: str
+    message: str
+    traceback: str
+    attempts: int
+
+    def __str__(self) -> str:
+        return (
+            f"({self.task.workload}, {self.task.system}) failed after "
+            f"{self.attempts} attempt(s): {self.error_type}: {self.message}"
+        )
+
+
+class SweepError(RuntimeError):
+    """A sweep had failing tasks under ``failure_mode="raise"``.
+
+    The partial results are not lost: :attr:`report` carries every
+    completed sibling result plus the structured failures.
+    """
+
+    def __init__(self, report: "SweepReport") -> None:
+        lines = [str(failure) for failure in report.failures]
+        super().__init__(
+            f"{len(report.failures)} of {report.n_tasks} sweep task(s) "
+            "failed:\n  " + "\n  ".join(lines)
+        )
+        self.report = report
+
+
+@dataclass
+class SweepReport:
+    """Outcome of one sweep: partial results plus structured failures."""
+
+    results: dict[str, dict[str, object]]
+    failures: list[TaskFailure]
+    n_tasks: int
+
+    @property
+    def ok(self) -> bool:
+        """True when every task of the grid completed."""
+        return not self.failures
+
+    def raise_if_failed(self) -> None:
+        """Raise :class:`SweepError` when any task failed."""
+        if self.failures:
+            raise SweepError(self)
+
+    def to_manifest(self, seed: int | None = None) -> dict:
+        """The JSON-serializable run-manifest of this sweep."""
+        completed = [
+            {
+                "workload": result.workload,
+                "system": system,
+                "writes_issued": result.writes_issued,
+                "failed": result.failed,
+                "dead_fraction": result.dead_fraction,
+            }
+            for by_system in self.results.values()
+            for system, result in by_system.items()
+        ]
+        return {
+            "version": MANIFEST_VERSION,
+            "seed": seed,
+            "n_tasks": self.n_tasks,
+            "completed": completed,
+            "failures": [
+                {
+                    "workload": failure.task.workload,
+                    "system": failure.task.system,
+                    "seed": failure.task.seed,
+                    "error_type": failure.error_type,
+                    "message": failure.message,
+                    "attempts": failure.attempts,
+                    "traceback": failure.traceback,
+                }
+                for failure in self.failures
+            ],
+        }
 
 
 def run_task(task: SweepTask):
@@ -50,7 +171,10 @@ def run_task(task: SweepTask):
     # Imported here (not at module top) so the engine package can be
     # imported without pulling the whole lifetime stack, and so forked
     # workers resolve it against their own interpreter state.
+    from ..lifetime.checkpoint import latest_checkpoint
+    from ..lifetime.simulator import DEFAULT_CHECKPOINT_INTERVAL
     from ..lifetime.systems import build_simulator
+    from ..lifetime.telemetry import JsonlObserver
 
     simulator = build_simulator(
         task.system,
@@ -62,7 +186,19 @@ def run_task(task: SweepTask):
         cell_type=task.cell_type,
         **dict(task.config_overrides),
     )
-    return simulator.run(max_writes=task.max_writes)
+    run_kwargs: dict = {"max_writes": task.max_writes}
+    run_dir = task.run_dir
+    if run_dir is not None:
+        run_kwargs["checkpoint_dir"] = run_dir
+        run_kwargs["checkpoint_interval"] = (
+            task.checkpoint_interval or DEFAULT_CHECKPOINT_INTERVAL
+        )
+        run_kwargs["observers"] = (
+            JsonlObserver(os.path.join(run_dir, "events.jsonl")),
+        )
+        if task.resume:
+            run_kwargs["resume_from"] = latest_checkpoint(run_dir)
+    return simulator.run(**run_kwargs)
 
 
 @dataclass
@@ -76,6 +212,22 @@ class SweepRunner:
         seed_mode: ``"shared"`` gives every run the same base seed
             (matching ``run_system_comparison``); ``"spawned"`` derives
             an independent seed per run via ``SeedSequence.spawn``.
+        retries: How often a failing task is re-executed before being
+            recorded as a :class:`TaskFailure` (0 = no retries; retries
+            rerun the task from scratch -- or from its latest
+            checkpoint when ``checkpoint_dir`` is set with ``resume``).
+        failure_mode: What :meth:`run` does about failures --
+            ``"raise"`` raises a :class:`SweepError` carrying the full
+            report (completed sibling results included), ``"collect"``
+            returns the partial grid silently.  :meth:`run_report`
+            always returns the structured report regardless.
+        checkpoint_dir: Root directory for per-run checkpoints and
+            JSONL telemetry (``<workload>-<system>/`` per task) and the
+            sweep's ``manifest.json``.  None disables all of it.
+        checkpoint_interval: Writes between per-run checkpoints (0 =
+            simulator default).
+        resume: Resume each task from its latest checkpoint when one
+            exists under ``checkpoint_dir``.
     """
 
     systems: tuple[str, ...] = PAPER_SYSTEMS
@@ -87,14 +239,26 @@ class SweepRunner:
     max_writes: int = 2_000_000
     cell_type: str = "slc"
     config_overrides: dict = field(default_factory=dict)
+    retries: int = 0
+    failure_mode: str = "raise"
+    checkpoint_dir: str | None = None
+    checkpoint_interval: int = 0
+    resume: bool = False
 
     def __post_init__(self) -> None:
         if self.seed_mode not in SEED_MODES:
             raise ValueError(
                 f"seed_mode must be one of {SEED_MODES}, got {self.seed_mode!r}"
             )
+        if self.failure_mode not in FAILURE_MODES:
+            raise ValueError(
+                f"failure_mode must be one of {FAILURE_MODES}, "
+                f"got {self.failure_mode!r}"
+            )
         if self.workers is not None and self.workers < 1:
             raise ValueError("workers must be positive")
+        if self.retries < 0:
+            raise ValueError("retries cannot be negative")
 
     def tasks(self, workloads, seed: int = 0) -> list[SweepTask]:
         """The task grid for a sweep, in (workload, system) order."""
@@ -118,26 +282,132 @@ class SweepRunner:
                 max_writes=self.max_writes,
                 cell_type=self.cell_type,
                 config_overrides=tuple(sorted(self.config_overrides.items())),
+                checkpoint_dir=self.checkpoint_dir,
+                checkpoint_interval=self.checkpoint_interval,
+                resume=self.resume,
             )
             for (workload, system), run_seed in zip(pairs, seeds)
         ]
 
-    def run(self, workloads, seed: int = 0) -> dict[str, dict[str, object]]:
-        """Run the full grid; returns ``{workload: {system: result}}``."""
+    # -- execution -------------------------------------------------------
+
+    def run_report(self, workloads, seed: int = 0) -> SweepReport:
+        """Run the full grid, capturing failures instead of aborting.
+
+        Every task is attempted (and retried up to ``retries`` times);
+        the report carries results for each completed (workload,
+        system) pair and a :class:`TaskFailure` per task that kept
+        failing.  When ``checkpoint_dir`` is set, the sweep's
+        ``manifest.json`` is (re)written there afterwards.
+        """
+        from ..core.window import clear_window_caches
+
         workloads = tuple(workloads)
         tasks = self.tasks(workloads, seed=seed)
         workers = self.workers if self.workers is not None else os.cpu_count() or 1
         workers = min(workers, len(tasks)) or 1
-        if workers == 1:
-            outcomes = [run_task(task) for task in tasks]
-        else:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                outcomes = list(pool.map(run_task, tasks))
+        try:
+            if workers == 1:
+                outcomes = [self._attempt_serial(task) for task in tasks]
+            else:
+                outcomes = self._attempt_parallel(tasks, workers)
+        finally:
+            # Sweep-worker teardown: the placement caches in
+            # repro.core.window are module-global and would otherwise
+            # outlive the sweep in this (potentially long-lived)
+            # process; pool workers release theirs on process exit.
+            clear_window_caches()
+
         merged: dict[str, dict[str, object]] = {w: {} for w in workloads}
+        failures: list[TaskFailure] = []
         for task, outcome in zip(tasks, outcomes):
-            merged[task.workload][task.system] = outcome
-        return merged
+            if isinstance(outcome, TaskFailure):
+                failures.append(outcome)
+            else:
+                merged[task.workload][task.system] = outcome
+        report = SweepReport(
+            results=merged, failures=failures, n_tasks=len(tasks)
+        )
+        if self.checkpoint_dir is not None:
+            self.write_manifest(report, seed=seed)
+        return report
+
+    def run(self, workloads, seed: int = 0) -> dict[str, dict[str, object]]:
+        """Run the full grid; returns ``{workload: {system: result}}``.
+
+        Under the default ``failure_mode="raise"`` a failing task
+        raises :class:`SweepError` *after* the rest of the grid
+        finished (the exception's ``report`` holds the partial
+        results); ``failure_mode="collect"`` returns the partial grid
+        without raising.  Use :meth:`run_report` to always get the
+        structured report.
+        """
+        report = self.run_report(workloads, seed=seed)
+        if self.failure_mode == "raise":
+            report.raise_if_failed()
+        return report.results
 
     def run_comparison(self, workload: str, seed: int = 0) -> dict[str, object]:
         """One workload across all systems (a Figure 10 column group)."""
         return self.run((workload,), seed=seed)[workload]
+
+    def write_manifest(self, report: SweepReport, seed: int | None = None) -> str:
+        """Write the sweep run-manifest JSON; returns its path."""
+        assert self.checkpoint_dir is not None
+        os.makedirs(self.checkpoint_dir, exist_ok=True)
+        path = os.path.join(self.checkpoint_dir, "manifest.json")
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(report.to_manifest(seed=seed), handle, indent=2)
+            handle.write("\n")
+        os.replace(tmp, path)
+        return path
+
+    # -- attempt plumbing ------------------------------------------------
+
+    def _attempt_serial(self, task: SweepTask):
+        """Run one task in-process with the retry budget."""
+        for attempt in range(1, self.retries + 2):
+            try:
+                return run_task(task)
+            except Exception as error:  # noqa: BLE001 -- captured, reported
+                failure = self._failure(task, error, attempt)
+        return failure
+
+    def _attempt_parallel(self, tasks: list[SweepTask], workers: int) -> list:
+        """Run the grid as independent futures; failures never cascade."""
+        outcomes: list = [None] * len(tasks)
+        attempts = dict.fromkeys(range(len(tasks)), 1)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            pending = {
+                pool.submit(run_task, task): index
+                for index, task in enumerate(tasks)
+            }
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = pending.pop(future)
+                    error = future.exception()
+                    if error is None:
+                        outcomes[index] = future.result()
+                        continue
+                    if attempts[index] <= self.retries:
+                        attempts[index] += 1
+                        pending[pool.submit(run_task, tasks[index])] = index
+                        continue
+                    outcomes[index] = self._failure(
+                        tasks[index], error, attempts[index]
+                    )
+        return outcomes
+
+    @staticmethod
+    def _failure(task: SweepTask, error: BaseException, attempts: int) -> TaskFailure:
+        return TaskFailure(
+            task=task,
+            error_type=type(error).__name__,
+            message=str(error),
+            traceback="".join(
+                traceback.format_exception(type(error), error, error.__traceback__)
+            ),
+            attempts=attempts,
+        )

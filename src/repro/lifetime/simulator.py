@@ -6,43 +6,44 @@ workload generator or a recorded trace, cycled -- through a
 capacity is dead (the paper's system-failure criterion, following
 ECP [8]), and reports the write count at death plus the wear statistics
 behind Figures 10, 12 and 13.
+
+Long runs are *survivable*: :meth:`LifetimeSimulator.run` can
+periodically write crash-safe checkpoints (see
+:mod:`repro.lifetime.checkpoint`), resume bit-identically from one via
+``resume_from=``, and stream heartbeat telemetry through pluggable
+:class:`~repro.lifetime.telemetry.RunObserver`\\ s.  The write stream is
+tracked by an explicit cursor (not a live generator) precisely so the
+whole replay position serializes with the rest of the state.
 """
 
 from __future__ import annotations
 
-import itertools
-from collections.abc import Iterator
+import time
+from collections.abc import Sequence
+from pathlib import Path
 
 import numpy as np
 
 from ..core import CompressedPCMController, SystemConfig
 from ..pcm import EnduranceModel, FaultMode
 from ..traces import SyntheticWorkload, Trace, WriteBack, WorkloadProfile
+from .checkpoint import (
+    CHECKPOINT_VERSION,
+    Checkpoint,
+    read_checkpoint,
+    write_checkpoint,
+)
 from .results import LifetimeResult
+from .telemetry import HeartbeatEvent, RunObserver
 
 #: The paper's failure criterion: half the capacity worn out.
 DEAD_CAPACITY_THRESHOLD = 0.5
 
+#: Default writes between durable checkpoints (when checkpointing is on).
+DEFAULT_CHECKPOINT_INTERVAL = 100_000
 
-def _write_stream(source, n_lines: int) -> Iterator[WriteBack]:
-    """Normalize a workload source into an endless write-back stream."""
-    if hasattr(source, "next_write"):  # SyntheticWorkload, MixedWorkload, ...
-        while True:
-            yield source.next_write()
-    elif isinstance(source, Trace):
-        if len(source) == 0:
-            raise ValueError("cannot replay an empty trace")
-        if source.n_lines > n_lines:
-            raise ValueError(
-                f"trace addresses {source.n_lines} lines but the memory "
-                f"has only {n_lines}"
-            )
-        yield from itertools.cycle(source)
-    else:
-        raise TypeError(
-            "workload source must be a SyntheticWorkload or a Trace, "
-            f"got {type(source).__name__}"
-        )
+#: Default writes between heartbeat events (when observers are attached).
+DEFAULT_HEARTBEAT_INTERVAL = 10_000
 
 
 class LifetimeSimulator:
@@ -95,9 +96,96 @@ class LifetimeSimulator:
             fault_mode=fault_mode,
             cell_type=cell_type,
         )
+        #: Writes issued so far (advanced by run(); restored on resume).
+        self.writes_issued = 0
+        #: Replay position within a Trace source (unused for generators).
+        self.trace_cursor = 0
+
+    # -- write stream ----------------------------------------------------
+
+    def _validate_source(self) -> None:
+        """Reject unusable sources before the first write (run start)."""
+        source = self.source
+        if isinstance(source, Trace):
+            if len(source) == 0:
+                raise ValueError("cannot replay an empty trace")
+            if source.n_lines > self.n_lines:
+                raise ValueError(
+                    f"trace addresses {source.n_lines} lines but the memory "
+                    f"has only {self.n_lines}"
+                )
+
+    def _next_write(self) -> WriteBack:
+        """The next write-back: generator draw or cursor-tracked replay.
+
+        Traces cycle endlessly exactly like the old
+        ``itertools.cycle`` stream did, but through an explicit cursor
+        so the replay position survives checkpoint/resume.
+        """
+        source = self.source
+        if isinstance(source, Trace):
+            write_back = source[self.trace_cursor]
+            self.trace_cursor = (self.trace_cursor + 1) % len(source)
+            return write_back
+        return source.next_write()
+
+    # -- checkpoint / resume ---------------------------------------------
+
+    def save_checkpoint(self, directory: str | Path, keep: int = 2) -> Path:
+        """Durably checkpoint the complete replay state; returns the path."""
+        checkpoint = Checkpoint(
+            version=CHECKPOINT_VERSION,
+            writes_issued=self.writes_issued,
+            system=self.config.name,
+            workload=self.workload_name,
+            n_lines=self.n_lines,
+            dead_threshold=self.dead_threshold,
+            controller=self.controller,
+            source=self.source,
+            trace_cursor=self.trace_cursor,
+        )
+        return write_checkpoint(checkpoint, directory, keep=keep)
+
+    def restore(self, checkpoint: Checkpoint | str | Path) -> None:
+        """Adopt a checkpoint's state; the next ``run`` continues from it.
+
+        The checkpoint must come from the same experiment (system,
+        workload, memory size, failure threshold) -- a mismatch raises
+        ``ValueError`` before any state is replaced.
+        """
+        if not isinstance(checkpoint, Checkpoint):
+            checkpoint = read_checkpoint(checkpoint)
+        expected = (
+            self.config.name, self.workload_name, self.n_lines,
+            self.dead_threshold,
+        )
+        found = (
+            checkpoint.system, checkpoint.workload, checkpoint.n_lines,
+            checkpoint.dead_threshold,
+        )
+        if expected != found:
+            raise ValueError(
+                "checkpoint belongs to a different run: expected "
+                f"(system, workload, n_lines, dead_threshold)={expected}, "
+                f"checkpoint has {found}"
+            )
+        self.controller = checkpoint.controller
+        self.source = checkpoint.source
+        self.trace_cursor = checkpoint.trace_cursor
+        self.writes_issued = checkpoint.writes_issued
+
+    # -- the run loop ----------------------------------------------------
 
     def run(
-        self, max_writes: int = 2_000_000, check_interval: int = 64
+        self,
+        max_writes: int = 2_000_000,
+        check_interval: int = 64,
+        *,
+        checkpoint_dir: str | Path | None = None,
+        checkpoint_interval: int = DEFAULT_CHECKPOINT_INTERVAL,
+        resume_from: Checkpoint | str | Path | None = None,
+        observers: Sequence[RunObserver] = (),
+        heartbeat_interval: int = DEFAULT_HEARTBEAT_INTERVAL,
     ) -> LifetimeResult:
         """Replay writes until memory death or the write budget runs out.
 
@@ -107,26 +195,79 @@ class LifetimeSimulator:
                 budget or shrink the memory rather than compare
                 unfinished runs).
             check_interval: Writes between failure-criterion checks.
+            checkpoint_dir: When set, a durable checkpoint is written
+                there every ``checkpoint_interval`` writes (atomic
+                write-rename; see :mod:`repro.lifetime.checkpoint`).
+            checkpoint_interval: Writes between checkpoints.
+            resume_from: A checkpoint (object or path) to restore
+                before the first write; the continuation is
+                bit-identical to a never-interrupted run.  The counters
+                resume at the checkpoint's write count, so checkpoint,
+                heartbeat, and failure-check cadences stay aligned.
+            observers: Passive telemetry sinks (see
+                :mod:`repro.lifetime.telemetry`); they never affect the
+                simulation.
+            heartbeat_interval: Writes between heartbeat events (only
+                consulted when observers are attached).
         """
+        if checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be >= 1")
+        if heartbeat_interval < 1:
+            raise ValueError("heartbeat_interval must be >= 1")
+        if resume_from is not None:
+            self.restore(resume_from)
+        self._validate_source()
+
         controller = self.controller
-        writes = 0
+        checkpointing = checkpoint_dir is not None
+        writes = self.writes_issued
         failed = False
-        for write_back in _write_stream(self.source, self.n_lines):
+        started = time.monotonic()
+        rate_anchor_writes, rate_anchor_time = writes, started
+        for observer in observers:
+            observer.on_run_start(self, writes)
+
+        while writes < max_writes:
+            write_back = self._next_write()
             controller.write(write_back.line, write_back.data)
             writes += 1
+            self.writes_issued = writes
             if writes % check_interval == 0 and (
                 controller.dead_fraction >= self.dead_threshold
             ):
                 failed = True
                 break
-            if writes >= max_writes:
-                break
+            if checkpointing and writes % checkpoint_interval == 0:
+                path = self.save_checkpoint(checkpoint_dir)
+                for observer in observers:
+                    observer.on_checkpoint(path, writes)
+            if observers and writes % heartbeat_interval == 0:
+                now = time.monotonic()
+                elapsed = now - rate_anchor_time
+                stats = controller.stats
+                event = HeartbeatEvent(
+                    system=self.config.name,
+                    workload=self.workload_name,
+                    writes_issued=writes,
+                    max_writes=max_writes,
+                    dead_fraction=controller.dead_fraction,
+                    compression_cache_hits=stats.compression_cache_hits,
+                    compression_cache_misses=stats.compression_cache_misses,
+                    elapsed_seconds=now - started,
+                    writes_per_second=(
+                        (writes - rate_anchor_writes) / elapsed
+                        if elapsed > 0 else 0.0
+                    ),
+                )
+                rate_anchor_writes, rate_anchor_time = writes, now
+                for observer in observers:
+                    observer.on_heartbeat(event)
 
         stats = controller.stats
         # Per-stage counters are the single source of truth: derive the
         # stored-write total rather than re-counting it here.
         stored = stats.stored_writes
-        return LifetimeResult(
+        result = LifetimeResult(
             system=self.config.name,
             workload=self.workload_name,
             n_lines=self.n_lines,
@@ -147,3 +288,6 @@ class LifetimeSimulator:
             compression_cache_hits=stats.compression_cache_hits,
             compression_cache_misses=stats.compression_cache_misses,
         )
+        for observer in observers:
+            observer.on_run_end(result)
+        return result

@@ -8,6 +8,8 @@ parameters together so benchmarks and examples can run one-liners like::
 
 from __future__ import annotations
 
+from pathlib import Path
+
 from ..core import EVALUATED_SYSTEMS, SystemConfig
 from ..engine.registry import resolve_config
 from ..traces import SyntheticWorkload, get_profile
@@ -83,12 +85,26 @@ def run_system_comparison(
     seed: int = 0,
     max_writes: int = 2_000_000,
     workers: int = 1,
+    checkpoint_dir: str | None = None,
+    checkpoint_interval: int = 0,
+    resume: bool = False,
+    progress: bool = False,
 ) -> dict[str, LifetimeResult]:
     """Run every system on one workload (one Figure 10 column group).
 
     ``workers > 1`` fans the runs out across processes through
     :class:`~repro.engine.SweepRunner`; each run is seeded identically
     to the serial path, so the results are bit-for-bit the same.
+
+    Durability knobs (see :mod:`repro.lifetime.checkpoint` and
+    :mod:`repro.lifetime.telemetry`): ``checkpoint_dir`` gives each run
+    a ``<workload>-<system>/`` subdirectory with durable checkpoints
+    (every ``checkpoint_interval`` writes; 0 = the simulator default)
+    plus a JSONL heartbeat stream; ``resume=True`` continues each run
+    from its latest checkpoint when one exists; ``progress=True``
+    prints per-heartbeat progress lines to stderr (serial path only --
+    parallel workers stay quiet and rely on the JSONL streams).
+    Checkpoints and heartbeats never change results.
     """
     if workers != 1:
         from ..engine.sweep import SweepRunner
@@ -100,8 +116,15 @@ def run_system_comparison(
             endurance_mean=endurance_mean,
             endurance_cov=endurance_cov,
             max_writes=max_writes,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_interval=checkpoint_interval,
+            resume=resume,
         )
         return runner.run_comparison(workload, seed=seed)
+    from .checkpoint import latest_checkpoint
+    from .simulator import DEFAULT_CHECKPOINT_INTERVAL
+    from .telemetry import JsonlObserver, ProgressObserver
+
     results = {}
     for system in systems:
         simulator = build_simulator(
@@ -112,7 +135,22 @@ def run_system_comparison(
             endurance_cov=endurance_cov,
             seed=seed,
         )
-        results[system] = simulator.run(max_writes=max_writes)
+        run_kwargs: dict = {"max_writes": max_writes}
+        observers: list = []
+        if checkpoint_dir is not None:
+            run_dir = Path(checkpoint_dir) / f"{workload}-{system}"
+            run_kwargs["checkpoint_dir"] = run_dir
+            run_kwargs["checkpoint_interval"] = (
+                checkpoint_interval or DEFAULT_CHECKPOINT_INTERVAL
+            )
+            observers.append(JsonlObserver(run_dir / "events.jsonl"))
+            if resume:
+                run_kwargs["resume_from"] = latest_checkpoint(run_dir)
+        if progress:
+            observers.append(ProgressObserver())
+        if observers:
+            run_kwargs["observers"] = tuple(observers)
+        results[system] = simulator.run(**run_kwargs)
     return results
 
 

@@ -78,6 +78,47 @@ def test_clear_drops_entries_but_keeps_counters(cache):
     assert cache.misses == 2
 
 
+def test_pickle_round_trip(cache):
+    """Pickle/copy probe dunders via __getattr__ before __dict__ exists.
+
+    The delegating __getattr__ must raise AttributeError for ``inner``
+    and dunder lookups instead of recursing (regression: unpickling an
+    empty instance looked up ``__setstate__`` -> ``self.inner`` ->
+    ``__getattr__`` forever).
+    """
+    import copy
+    import pickle
+
+    cache.compress(_line(1))
+    cache.compress(_line(1))
+    restored = pickle.loads(pickle.dumps(cache))
+    assert (restored.hits, restored.misses) == (cache.hits, cache.misses)
+    assert restored.capacity == cache.capacity
+    assert len(restored) == len(cache)
+    # The restored wrapper still works end-to-end: hit on the restored
+    # entry, delegation to the restored inner compressor intact.
+    result = restored.compress(_line(1))
+    assert restored.hits == cache.hits + 1
+    assert restored.decompress(result) == _line(1)
+    assert restored.encode_metadata(result) == cache.encode_metadata(result)
+    # deepcopy exercises the same protocol probes.
+    duplicate = copy.deepcopy(cache)
+    assert duplicate.compress(_line(1)) == cache.compress(_line(1))
+
+
+def test_getattr_raises_for_inner_and_dunders(cache):
+    """Protocol probes must fail cleanly, never delegate or recurse."""
+    empty = CachingCompressor.__new__(CachingCompressor)  # no __dict__ state
+    with pytest.raises(AttributeError):
+        _ = empty.inner
+    with pytest.raises(AttributeError):
+        _ = empty.__deepcopy__
+    # Non-dunder misses on a fully built wrapper still report the
+    # missing attribute instead of recursing.
+    with pytest.raises(AttributeError):
+        _ = cache.does_not_exist
+
+
 def test_wrapper_is_transparent(cache):
     inner = cache.inner
     assert cache.name == inner.name

@@ -1,0 +1,161 @@
+"""Fault tolerance of the sweep runner.
+
+The load-bearing property: one poisoned (workload, system) task must
+never discard its siblings' results -- the old ``pool.map`` rethrow
+aborted the whole grid.  A failing task comes back as a structured
+:class:`~repro.engine.TaskFailure` (spec + traceback + attempt count),
+the rest of the grid completes, and the run-manifest records both.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine import (
+    SweepError,
+    SweepRunner,
+    SweepTask,
+    TaskFailure,
+    run_task,
+)
+from repro.lifetime import latest_checkpoint, run_system_comparison
+
+SMALL = dict(n_lines=24, endurance_mean=12.0, max_writes=600_000)
+#: An unregistered system name: the worker raises inside
+#: ``build_simulator`` exactly like a bad config would mid-grid.
+POISON = "no_such_system"
+
+
+def poisoned_runner(**kwargs):
+    return SweepRunner(systems=("baseline", POISON, "comp_wf"), **SMALL, **kwargs)
+
+
+class TestPartialResults:
+    def test_siblings_survive_a_poisoned_task(self):
+        report = poisoned_runner(failure_mode="collect").run_report(
+            ("milc",), seed=3
+        )
+        assert not report.ok
+        assert set(report.results["milc"]) == {"baseline", "comp_wf"}
+        assert report.n_tasks == 3
+        [failure] = report.failures
+        assert isinstance(failure, TaskFailure)
+        assert failure.task.system == POISON
+        assert failure.task.workload == "milc"
+        assert failure.error_type == "ValueError"
+        assert POISON in failure.message
+        assert "build_simulator" in failure.traceback
+        assert failure.attempts == 1
+
+    def test_parallel_pool_matches_serial_partial_results(self):
+        serial = poisoned_runner(failure_mode="collect").run_report(
+            ("milc",), seed=3
+        )
+        parallel = poisoned_runner(
+            failure_mode="collect", workers=3
+        ).run_report(("milc",), seed=3)
+        assert parallel.results["milc"] == serial.results["milc"]
+        assert [f.task for f in parallel.failures] == [
+            f.task for f in serial.failures
+        ]
+
+    def test_surviving_results_match_a_clean_sweep(self):
+        clean = run_system_comparison(
+            "milc", systems=("baseline", "comp_wf"), seed=3, **SMALL
+        )
+        report = poisoned_runner(failure_mode="collect").run_report(
+            ("milc",), seed=3
+        )
+        assert report.results["milc"] == clean
+
+    def test_multi_workload_grid_completes_around_failures(self):
+        report = poisoned_runner(failure_mode="collect", workers=2).run_report(
+            ("milc", "gcc"), seed=3
+        )
+        for workload in ("milc", "gcc"):
+            assert set(report.results[workload]) == {"baseline", "comp_wf"}
+        assert len(report.failures) == 2  # one poisoned task per workload
+
+
+class TestFailureModes:
+    def test_raise_mode_raises_after_finishing_the_grid(self):
+        with pytest.raises(SweepError) as excinfo:
+            poisoned_runner().run(("milc",), seed=3)
+        report = excinfo.value.report
+        assert set(report.results["milc"]) == {"baseline", "comp_wf"}
+        assert POISON in str(excinfo.value)
+
+    def test_collect_mode_returns_the_partial_grid(self):
+        grid = poisoned_runner(failure_mode="collect").run(("milc",), seed=3)
+        assert set(grid["milc"]) == {"baseline", "comp_wf"}
+
+    def test_invalid_failure_mode_rejected(self):
+        with pytest.raises(ValueError, match="failure_mode"):
+            SweepRunner(failure_mode="ignore")
+        with pytest.raises(ValueError, match="retries"):
+            SweepRunner(retries=-1)
+
+
+class TestRetries:
+    def test_retry_budget_is_spent_and_recorded(self):
+        report = poisoned_runner(
+            failure_mode="collect", retries=2
+        ).run_report(("milc",), seed=3)
+        [failure] = report.failures
+        assert failure.attempts == 3  # 1 initial + 2 retries
+
+    def test_parallel_retries_match(self):
+        report = poisoned_runner(
+            failure_mode="collect", retries=1, workers=2
+        ).run_report(("milc",), seed=3)
+        [failure] = report.failures
+        assert failure.attempts == 2
+
+
+class TestManifestAndCheckpoints:
+    def test_manifest_records_completions_and_failures(self, tmp_path):
+        runner = poisoned_runner(
+            failure_mode="collect", checkpoint_dir=str(tmp_path)
+        )
+        runner.run_report(("milc",), seed=3)
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["n_tasks"] == 3
+        assert manifest["seed"] == 3
+        done = {(c["workload"], c["system"]) for c in manifest["completed"]}
+        assert done == {("milc", "baseline"), ("milc", "comp_wf")}
+        [failure] = manifest["failures"]
+        assert failure["system"] == POISON
+        assert failure["error_type"] == "ValueError"
+        assert "Traceback" in failure["traceback"]
+
+    def test_tasks_checkpoint_into_per_run_directories(self, tmp_path):
+        runner = SweepRunner(
+            systems=("comp_wf",), checkpoint_dir=str(tmp_path),
+            checkpoint_interval=500, **SMALL,
+        )
+        clean = runner.run(("milc",), seed=3)
+        run_dir = tmp_path / "milc-comp_wf"
+        assert latest_checkpoint(run_dir) is not None
+        assert (run_dir / "events.jsonl").exists()
+        # Resuming the finished run from its last checkpoint replays the
+        # tail bit-identically.
+        resumed_runner = SweepRunner(
+            systems=("comp_wf",), checkpoint_dir=str(tmp_path),
+            checkpoint_interval=500, resume=True, **SMALL,
+        )
+        resumed = resumed_runner.run(("milc",), seed=3)
+        assert resumed["milc"]["comp_wf"] == clean["milc"]["comp_wf"]
+
+    def test_poisoned_task_spec_round_trips_through_pickle(self):
+        import pickle
+
+        task = SweepTask(
+            system=POISON, workload="milc", n_lines=8, endurance_mean=5.0,
+            endurance_cov=0.15, seed=0, max_writes=100,
+            checkpoint_dir="/tmp/x", checkpoint_interval=50, resume=True,
+        )
+        assert pickle.loads(pickle.dumps(task)) == task
+        with pytest.raises(ValueError, match=POISON):
+            run_task(task)

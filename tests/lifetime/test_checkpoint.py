@@ -1,0 +1,201 @@
+"""Checkpoint/resume durability: the load-bearing property is that a
+run interrupted at an *arbitrary* write count and resumed from its
+latest checkpoint produces a bit-identical
+:class:`~repro.lifetime.results.LifetimeResult` to a never-interrupted
+run -- same writes_issued, dead_fraction, flip counters, everything.
+The runs here are tiny (they die within a few thousand writes) so the
+equivalence checks stay fast.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lifetime import (
+    Checkpoint,
+    LifetimeSimulator,
+    RunObserver,
+    build_simulator,
+    latest_checkpoint,
+    list_checkpoints,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.lifetime.telemetry import JsonlObserver
+from repro.traces import SyntheticWorkload, Trace, get_profile
+
+SMALL = dict(n_lines=24, endurance_mean=12.0, seed=3)
+BUDGET = 600_000
+
+
+def small_simulator(system="comp_wf", workload="milc"):
+    return build_simulator(system, workload, **SMALL)
+
+
+# An awkward interruption point: not a multiple of the checkpoint
+# interval, the heartbeat interval, or the failure-check interval.
+INTERRUPT_AT = 1_337
+CHECKPOINT_EVERY = 500
+
+
+class TestResumeEquivalence:
+    @pytest.fixture(scope="class")
+    def golden(self):
+        return small_simulator().run(max_writes=BUDGET)
+
+    def test_run_actually_dies(self, golden):
+        assert golden.failed and golden.writes_issued < BUDGET
+
+    def test_interrupted_and_resumed_run_is_bit_identical(self, golden, tmp_path):
+        interrupted = small_simulator()
+        interrupted.run(
+            max_writes=INTERRUPT_AT,
+            checkpoint_dir=tmp_path,
+            checkpoint_interval=CHECKPOINT_EVERY,
+        )
+        resume_point = latest_checkpoint(tmp_path)
+        assert resume_point is not None
+        # A *fresh* simulator restores the checkpoint, discarding the
+        # interrupted run's post-checkpoint progress, and continues.
+        resumed = small_simulator().run(
+            max_writes=BUDGET, resume_from=resume_point
+        )
+        assert resumed == golden  # full LifetimeResult equality
+
+    def test_resume_restores_the_write_counter(self, tmp_path):
+        interrupted = small_simulator()
+        interrupted.run(
+            max_writes=INTERRUPT_AT,
+            checkpoint_dir=tmp_path,
+            checkpoint_interval=CHECKPOINT_EVERY,
+        )
+        checkpoint = read_checkpoint(latest_checkpoint(tmp_path))
+        assert checkpoint.writes_issued == (
+            INTERRUPT_AT // CHECKPOINT_EVERY
+        ) * CHECKPOINT_EVERY
+
+    def test_double_interruption_still_bit_identical(self, golden, tmp_path):
+        """Kill, resume, kill again, resume again -- still identical."""
+        first = small_simulator()
+        first.run(max_writes=INTERRUPT_AT, checkpoint_dir=tmp_path,
+                  checkpoint_interval=CHECKPOINT_EVERY)
+        second = small_simulator()
+        second.run(max_writes=INTERRUPT_AT + 997, checkpoint_dir=tmp_path,
+                   checkpoint_interval=CHECKPOINT_EVERY,
+                   resume_from=latest_checkpoint(tmp_path))
+        final = small_simulator().run(
+            max_writes=BUDGET, resume_from=latest_checkpoint(tmp_path)
+        )
+        assert final == golden
+
+    def test_trace_replay_resumes_from_the_cursor(self, tmp_path):
+        """Trace sources must not restart at write 0 after a resume."""
+        source = SyntheticWorkload(get_profile("milc"), n_lines=16, seed=7)
+        trace = source.generate_trace(2_000)
+
+        from repro.core import comp_wf
+
+        def trace_sim():
+            return LifetimeSimulator(
+                config=comp_wf(),
+                source=Trace(trace.workload, trace.n_lines, list(trace.writes)),
+                n_lines=16, endurance_mean=10.0, seed=4,
+            )
+
+        golden = trace_sim().run(max_writes=200_000)
+        assert golden.failed
+        interrupted = trace_sim()
+        interrupted.run(max_writes=777, checkpoint_dir=tmp_path,
+                        checkpoint_interval=250)
+        resumed = trace_sim().run(
+            max_writes=200_000, resume_from=latest_checkpoint(tmp_path)
+        )
+        assert resumed == golden
+
+
+class TestCheckpointStore:
+    def test_atomic_write_leaves_no_temporaries(self, tmp_path):
+        simulator = small_simulator()
+        simulator.run(max_writes=1_000, checkpoint_dir=tmp_path,
+                      checkpoint_interval=300)
+        leftovers = [p for p in tmp_path.iterdir() if p.name.startswith(".tmp")]
+        assert leftovers == []
+
+    def test_prune_keeps_the_newest_checkpoints(self, tmp_path):
+        simulator = small_simulator()
+        simulator.run(max_writes=2_000, checkpoint_dir=tmp_path,
+                      checkpoint_interval=300)
+        kept = list_checkpoints(tmp_path)
+        assert len(kept) == 2  # default keep=2
+        assert kept[-1] == latest_checkpoint(tmp_path)
+        assert kept[0].name < kept[-1].name
+
+    def test_latest_checkpoint_of_missing_dir_is_none(self, tmp_path):
+        assert latest_checkpoint(tmp_path / "never-created") is None
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        simulator = small_simulator()
+        simulator.run(max_writes=600, checkpoint_dir=tmp_path,
+                      checkpoint_interval=500)
+        checkpoint = read_checkpoint(latest_checkpoint(tmp_path))
+        stale = Checkpoint(**{**checkpoint.__dict__, "version": 999})
+        path = write_checkpoint(stale, tmp_path / "stale")
+        with pytest.raises(ValueError, match="version"):
+            read_checkpoint(path)
+
+    def test_restore_rejects_a_foreign_checkpoint(self, tmp_path):
+        simulator = small_simulator()
+        simulator.run(max_writes=600, checkpoint_dir=tmp_path,
+                      checkpoint_interval=500)
+        other = build_simulator("baseline", "milc", **SMALL)
+        with pytest.raises(ValueError, match="different run"):
+            other.restore(latest_checkpoint(tmp_path))
+
+    def test_checkpoint_interval_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="checkpoint_interval"):
+            small_simulator().run(
+                max_writes=100, checkpoint_dir=tmp_path, checkpoint_interval=0
+            )
+
+
+class TestTelemetry:
+    def test_observers_never_change_the_result(self, tmp_path):
+        silent = small_simulator().run(max_writes=BUDGET)
+
+        class Counting(RunObserver):
+            events: list = []
+
+            def on_heartbeat(self, event):
+                self.events.append(event)
+
+        observed = small_simulator().run(
+            max_writes=BUDGET, observers=(Counting(),), heartbeat_interval=256
+        )
+        assert observed == silent
+        assert Counting.events, "heartbeats should have fired"
+        last = Counting.events[-1]
+        assert last.writes_issued % 256 == 0
+        assert 0.0 <= last.dead_fraction <= 1.0
+
+    def test_jsonl_stream_is_well_formed(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        result = small_simulator().run(
+            max_writes=BUDGET,
+            checkpoint_dir=tmp_path,
+            checkpoint_interval=500,
+            observers=(JsonlObserver(path),),
+            heartbeat_interval=500,
+        )
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "start" and kinds[-1] == "end"
+        assert "heartbeat" in kinds and "checkpoint" in kinds
+        end = events[-1]
+        assert end["writes_issued"] == result.writes_issued
+        assert end["failed"] is result.failed
+        heartbeat = next(e for e in events if e["event"] == "heartbeat")
+        for key in ("writes_issued", "dead_fraction", "writes_per_second",
+                    "compression_cache_hit_rate"):
+            assert key in heartbeat

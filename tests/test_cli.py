@@ -101,6 +101,56 @@ def test_lifetime_rejects_nonpositive_workers():
         build_parser().parse_args(["lifetime", "--workers", "0"])
 
 
+@pytest.mark.parametrize("argv", [
+    ["lifetime", "--lines", "0"],
+    ["lifetime", "--lines", "-8"],
+    ["compress", "--writes", "0"],
+    ["compress", "--writes", "-1"],
+    ["flips", "--writes", "-200"],
+    ["perf", "--samples", "0"],
+    ["montecarlo", "--trials", "-5"],
+    ["trace", "milc", "out.trace", "--lines", "0"],
+    ["trace", "milc", "out.trace", "--writes", "-1"],
+    ["lifetime", "--checkpoint-interval", "0"],
+])
+def test_nonpositive_counts_rejected(argv, capsys):
+    """Zero/negative counts must die in argparse, not deep in numpy."""
+    with pytest.raises(SystemExit) as excinfo:
+        build_parser().parse_args(argv)
+    assert excinfo.value.code == 2  # clean usage error, not a traceback
+    assert "must be >= 1" in capsys.readouterr().err
+
+
+def test_resume_requires_checkpoint_dir(capsys):
+    with pytest.raises(SystemExit):
+        main(["lifetime", "--workloads", "milc", "--resume"])
+    assert "--resume requires --checkpoint-dir" in capsys.readouterr().err
+
+
+def test_checkpoint_interval_requires_checkpoint_dir(capsys):
+    with pytest.raises(SystemExit):
+        main(["lifetime", "--workloads", "milc",
+              "--checkpoint-interval", "500"])
+    err = capsys.readouterr().err
+    assert "--checkpoint-interval requires --checkpoint-dir" in err
+
+
+def test_lifetime_checkpoint_resume_round_trip(tmp_path, capsys):
+    """The CLI writes checkpoints + telemetry and --resume reuses them."""
+    base = [
+        "lifetime", "--workloads", "milc", "--lines", "24",
+        "--endurance", "12", "--systems", "comp_wf",
+        "--checkpoint-dir", str(tmp_path), "--checkpoint-interval", "2000",
+    ]
+    assert main(base) == 0
+    first = capsys.readouterr().out
+    run_dir = tmp_path / "milc-comp_wf"
+    assert (run_dir / "events.jsonl").exists()
+    assert any(run_dir.glob("checkpoint-*.pkl"))
+    assert main(base + ["--resume"]) == 0
+    assert capsys.readouterr().out == first
+
+
 def test_report_command(tmp_path, capsys):
     results = tmp_path / "results"
     results.mkdir()
