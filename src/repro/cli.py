@@ -10,6 +10,7 @@ Subcommands map to the paper's experiments:
 ``perf``        Section V-B read-latency / slowdown model
 ``trace``       generate and save a synthetic write-back trace
 ``systems``     list registered ``SystemSpec``s and their stages
+``fuzz``        differential fuzzing: fast pipeline vs reference oracle
 ==============  =====================================================
 """
 
@@ -132,6 +133,41 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--results-dir", default="benchmarks/results")
     report.add_argument("--only", nargs="*", default=None,
                         help="substring filters on result names")
+
+    fuzz = subparsers.add_parser(
+        "fuzz", help="differential campaigns: fast pipeline vs loop oracle"
+    )
+    fuzz.add_argument("--writes", type=_positive_int, default=2000,
+                      help="writes per (system, scheme) campaign")
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument("--systems", nargs="+", default=None,
+                      choices=system_names(), metavar="SYSTEM",
+                      help="systems to fuzz (default: all registered)")
+    fuzz.add_argument("--schemes", nargs="+",
+                      default=["ecp6", "safer32", "aegis"],
+                      metavar="SCHEME",
+                      help="correction schemes per system (default: "
+                      "ecp6 safer32 aegis)")
+    fuzz.add_argument("--lines", type=_positive_int, default=24,
+                      help="logical lines per campaign memory")
+    fuzz.add_argument("--banks", type=_positive_int, default=4)
+    fuzz.add_argument("--endurance", type=float, default=32.0,
+                      help="mean cell endurance (small = wear fast, so "
+                      "fault paths are exercised within the campaign)")
+    fuzz.add_argument("--cov", type=float, default=0.2)
+    fuzz.add_argument("--corpus", metavar="DIR", default=None,
+                      help="write failing repro seeds (JSON) under DIR")
+    fuzz.add_argument("--time-budget", type=float, default=None,
+                      metavar="SECONDS",
+                      help="stop starting/continuing campaigns past this "
+                      "wall-time budget (skipped campaigns are reported)")
+    fuzz.add_argument("--check-state-every", type=_positive_int, default=64,
+                      help="writes between full-memory oracle sweeps (every "
+                      "write still gets the per-write diff)")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="skip ddmin shrinking of failing sequences")
+    fuzz.add_argument("--replay", metavar="FILE", default=None,
+                      help="re-run one corpus entry instead of fuzzing")
 
     return parser
 
@@ -283,6 +319,54 @@ def cmd_report(args: argparse.Namespace) -> None:
         print()
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """Run differential fuzzing campaigns (or replay a corpus entry)."""
+    from .validate.fuzz import normalize_scheme, replay_corpus_entry, run_fuzz
+
+    if args.replay:
+        error = replay_corpus_entry(args.replay)
+        if error is None:
+            print(f"{args.replay}: does not reproduce (bug fixed?)")
+            return 0
+        print(f"{args.replay}: still diverges")
+        print(error)
+        return 1
+
+    def progress(campaign) -> None:
+        if campaign.skipped:
+            status = "SKIPPED (time budget)"
+        elif campaign.divergence is not None:
+            status = "DIVERGED"
+        else:
+            status = "ok"
+        line = (f"{campaign.system:22} {campaign.scheme:12} "
+                f"{campaign.writes_run:>6} writes  {status}")
+        if campaign.corpus_path is not None:
+            line += f"  -> {campaign.corpus_path}"
+        print(line)
+
+    report = run_fuzz(
+        systems=tuple(args.systems) if args.systems else None,
+        schemes=tuple(normalize_scheme(s) for s in args.schemes),
+        writes=args.writes, seed=args.seed, lines=args.lines,
+        banks=args.banks, endurance_mean=args.endurance,
+        endurance_cov=args.cov, corpus_dir=args.corpus,
+        time_budget=args.time_budget,
+        check_state_every=args.check_state_every,
+        shrink=not args.no_shrink, progress=progress,
+    )
+    ran = [c for c in report.campaigns if not c.skipped]
+    print(f"\n{len(ran)} campaigns, {sum(c.writes_run for c in ran)} writes, "
+          f"{len(report.failures)} divergences, {len(report.skipped)} skipped "
+          f"({report.elapsed_seconds:.1f}s)")
+    if report.failures:
+        for campaign in report.failures:
+            print(f"\n== {campaign.system} / {campaign.scheme} ==")
+            print(campaign.divergence)
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "lifetime": cmd_lifetime,
     "montecarlo": cmd_montecarlo,
@@ -292,6 +376,7 @@ _COMMANDS = {
     "trace": cmd_trace,
     "systems": cmd_systems,
     "report": cmd_report,
+    "fuzz": cmd_fuzz,
 }
 
 
@@ -306,8 +391,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             parser.error("--resume requires --checkpoint-dir")
         if args.checkpoint_interval is not None:
             parser.error("--checkpoint-interval requires --checkpoint-dir")
-    _COMMANDS[args.command](args)
-    return 0
+    # Commands return an exit code or None (== success); ``fuzz`` uses a
+    # non-zero code to fail CI on divergence.
+    status = _COMMANDS[args.command](args)
+    return int(status or 0)
 
 
 if __name__ == "__main__":

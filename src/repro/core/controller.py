@@ -63,6 +63,7 @@ class CompressedPCMController:
         fault_mode: FaultMode = FaultMode.STUCK_AT_LAST,
         compressor: BestOfCompressor | None = None,
         cell_type: str = "slc",
+        invariants: tuple = (),
     ) -> None:
         if n_lines < 1:
             raise ValueError("need at least one logical line")
@@ -127,7 +128,9 @@ class CompressedPCMController:
             ),
             remapper=remapper,
         )
-        self.pipeline = WritePipeline(self.engine)
+        # Debug-mode invariant checkers (repro.validate.invariants),
+        # run by the pipeline after every write; empty by default.
+        self.pipeline = WritePipeline(self.engine, invariants=invariants)
         self._shadow: dict[int, bytes] = {}
 
     # -- engine state passthrough (historical public attributes) ---------

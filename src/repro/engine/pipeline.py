@@ -34,6 +34,7 @@ class WritePipeline:
         program: ProgramStage | None = None,
         correction: CorrectionStage | None = None,
         remap: RemapStage | None = None,
+        invariants: tuple = (),
     ) -> None:
         self.state = state
         self.compress = compress or CompressStage(state)
@@ -41,6 +42,10 @@ class WritePipeline:
         self.program = program or ProgramStage(state)
         self.correction = correction or CorrectionStage(state)
         self.remap = remap or RemapStage(state)
+        #: Debug-mode checkers (see :mod:`repro.validate.invariants`):
+        #: each is called as ``checker.after_write(state, result)`` on
+        #: every completed write.  Empty (the default) costs nothing.
+        self.invariants = tuple(invariants)
 
     @property
     def stages(self) -> tuple[Stage, ...]:
@@ -63,6 +68,14 @@ class WritePipeline:
         self, physical: int, data: bytes, revival_allowed: bool = False
     ) -> WriteResult:
         """Run one write-back through the full stage sequence."""
+        result = self._run_write(physical, data, revival_allowed)
+        for checker in self.invariants:
+            checker.after_write(self.state, result)
+        return result
+
+    def _run_write(
+        self, physical: int, data: bytes, revival_allowed: bool
+    ) -> WriteResult:
         state = self.state
         if self.remap.blocked(physical, revival_allowed):
             state.stats.lost_writes += 1

@@ -62,6 +62,7 @@ class LifetimeSimulator:
         dead_threshold: float = DEAD_CAPACITY_THRESHOLD,
         cell_type: str = "slc",
         rng: np.random.Generator | None = None,
+        invariants: tuple = (),
     ) -> None:
         if not 0 < dead_threshold <= 1:
             raise ValueError("dead threshold must be in (0, 1]")
@@ -95,6 +96,9 @@ class LifetimeSimulator:
             n_banks=n_banks,
             fault_mode=fault_mode,
             cell_type=cell_type,
+            # Debug-mode checkers (repro.validate.invariants); pure
+            # observers, so enabling them never changes the result.
+            invariants=invariants,
         )
         #: Writes issued so far (advanced by run(); restored on resume).
         self.writes_issued = 0

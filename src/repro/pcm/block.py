@@ -189,8 +189,15 @@ class MemoryBlock:
             )
         if self.stored is None:
             self.stored = np.zeros(BLOCK_BITS, dtype=np.uint8)
+        else:
+            self.stored = np.asarray(self.stored, dtype=np.uint8)
         if self.counts is None:
             self.counts = np.zeros(BLOCK_BITS, dtype=np.uint64)
+        else:
+            # Coerce like `endurance`: a signed caller-supplied array
+            # would make `counts >= endurance` promote both sides to
+            # float64 (NEP 50), silently mis-comparing above 2**53.
+            self.counts = np.asarray(self.counts, dtype=np.uint64)
 
     @classmethod
     def fresh(

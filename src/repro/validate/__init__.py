@@ -1,0 +1,60 @@
+"""Differential validation: oracle model, lockstep diffing, invariants, fuzz.
+
+The hot path earned several layers of optimization (vectorized
+compression kernels, content-addressed caching, incrementally maintained
+fault state); this package is the correctness tooling that keeps those
+layers honest:
+
+* :mod:`~repro.validate.refcompress` -- frozen loop-based FPC/BDI
+  codecs (the pre-vectorization encoders) plus matching decoders;
+* :mod:`~repro.validate.reference` -- :class:`ReferenceModel`, a slow,
+  loop-based re-implementation of the full write path, independent of
+  :mod:`repro.engine`;
+* :mod:`~repro.validate.lockstep` -- :class:`ValidatingController`
+  runs the fast pipeline and the oracle in lockstep and raises
+  :class:`DivergenceError` with a self-contained repro recipe;
+* :mod:`~repro.validate.invariants` -- cross-stage checkers pluggable
+  into the engine pipeline's debug mode;
+* :mod:`~repro.validate.fuzz` -- randomized differential campaigns
+  (``python -m repro fuzz``) with case shrinking and a repro corpus.
+"""
+
+from .invariants import (
+    DeadCountConsistent,
+    DeadSetMonotone,
+    FaultMaskConsistent,
+    InvariantViolation,
+    StatsConservation,
+    WindowWithinLine,
+    check_checkpoint_roundtrip,
+    controller_state_snapshot,
+    default_invariants,
+)
+from .lockstep import (
+    DivergenceError,
+    ValidatingController,
+    controller_from_recipe,
+    replay_recipe,
+)
+from .reference import ReferenceModel
+from .fuzz import FuzzReport, run_fuzz, shrink_recipe
+
+__all__ = [
+    "DeadCountConsistent",
+    "DeadSetMonotone",
+    "DivergenceError",
+    "FaultMaskConsistent",
+    "FuzzReport",
+    "InvariantViolation",
+    "ReferenceModel",
+    "StatsConservation",
+    "ValidatingController",
+    "WindowWithinLine",
+    "check_checkpoint_roundtrip",
+    "controller_from_recipe",
+    "controller_state_snapshot",
+    "default_invariants",
+    "replay_recipe",
+    "run_fuzz",
+    "shrink_recipe",
+]

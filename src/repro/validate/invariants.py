@@ -1,0 +1,257 @@
+"""Cross-stage invariant checkers for the engine's debug mode.
+
+Each checker is a small object with an ``after_write(state, result)``
+hook; the :class:`~repro.engine.pipeline.WritePipeline` runs the hooks
+on every completed write (including lost and dying ones) when it is
+constructed with ``invariants=...``.  Checkers raise
+:class:`InvariantViolation` -- they assert relationships that must hold
+*by construction* between stages, so a failure always means a pipeline
+bug, never a workload property:
+
+* :class:`StatsConservation` -- every write commits exactly once or is
+  lost exactly once, and the flip split adds up;
+* :class:`WindowWithinLine` -- committed placement/metadata fields stay
+  inside the 64-byte line and agree with the compressed flag;
+* :class:`DeadSetMonotone` -- without revival, blocks never come back;
+* :class:`DeadCountConsistent` -- the O(1) maintained death total
+  matches the dead mask;
+* :class:`FaultMaskConsistent` -- the incrementally maintained fault
+  mask matches ``counts >= endurance`` recomputed from scratch on the
+  written line.
+
+:func:`default_invariants` builds one of each.  The checkers are pure
+observers: they never mutate engine state, so enabling them cannot
+change simulation results (only speed).
+
+:func:`check_checkpoint_roundtrip` is the checkpoint/resume state
+checker: it saves a live simulator, re-reads the pickle, and diffs the
+restored controller against the live one field by field.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.window import LINE_BYTES
+
+
+class InvariantViolation(AssertionError):
+    """A cross-stage engine invariant failed after a write."""
+
+
+class StatsConservation:
+    """Write accounting and flip-split conservation laws."""
+
+    name = "stats-conservation"
+
+    def after_write(self, state, result) -> None:
+        stats = state.stats
+        issued = stats.demand_writes + stats.gap_move_writes
+        settled = stats.stored_writes + stats.lost_writes
+        if issued != settled:
+            raise InvariantViolation(
+                f"{self.name}: demand+gap_move ({issued}) != "
+                f"stored+lost ({settled})"
+            )
+        if stats.total_flips != stats.set_flips + stats.reset_flips:
+            raise InvariantViolation(
+                f"{self.name}: total_flips ({stats.total_flips}) != "
+                f"set+reset ({stats.set_flips + stats.reset_flips})"
+            )
+        if stats.stored_writes != stats.compressed_writes + stats.uncompressed_writes:
+            raise InvariantViolation(
+                f"{self.name}: stored_writes ({stats.stored_writes}) != "
+                f"compressed+uncompressed"
+            )
+
+
+class WindowWithinLine:
+    """Committed windows and metadata stay inside the 64-byte line."""
+
+    name = "window-within-line"
+
+    def after_write(self, state, result) -> None:
+        if not 0 <= result.window_start < LINE_BYTES:
+            raise InvariantViolation(
+                f"{self.name}: window_start {result.window_start} out of range"
+            )
+        if not 1 <= result.size_bytes <= LINE_BYTES:
+            raise InvariantViolation(
+                f"{self.name}: size_bytes {result.size_bytes} out of range"
+            )
+        if result.compressed and result.size_bytes >= LINE_BYTES:
+            raise InvariantViolation(
+                f"{self.name}: compressed write stored {result.size_bytes} bytes"
+            )
+        if result.lost:
+            return  # no metadata was committed
+        if not result.compressed and result.window_start != 0:
+            raise InvariantViolation(
+                f"{self.name}: uncompressed write landed at byte "
+                f"{result.window_start}, not 0"
+            )
+        meta = state.metadata[result.physical]
+        if meta.compressed != result.compressed or meta.stored_size != result.size_bytes:
+            raise InvariantViolation(
+                f"{self.name}: metadata (compressed={meta.compressed}, "
+                f"size={meta.stored_size}) disagrees with the committed result "
+                f"(compressed={result.compressed}, size={result.size_bytes})"
+            )
+        if meta.start_pointer != result.window_start:
+            raise InvariantViolation(
+                f"{self.name}: start pointer {meta.start_pointer} != committed "
+                f"window start {result.window_start}"
+            )
+
+
+class DeadSetMonotone:
+    """Without revival, the dead set only grows."""
+
+    name = "dead-set-monotone"
+
+    def __init__(self) -> None:
+        self._previous: np.ndarray | None = None
+
+    def after_write(self, state, result) -> None:
+        dead = state.dead
+        if self._previous is not None and not state.config.use_dead_block_revival:
+            resurrected = np.flatnonzero(self._previous & ~dead)
+            if resurrected.size:
+                raise InvariantViolation(
+                    f"{self.name}: blocks {resurrected.tolist()} came back "
+                    "to life with revival disabled"
+                )
+        self._previous = dead.copy()
+
+
+class DeadCountConsistent:
+    """The maintained O(1) dead total matches the dead mask."""
+
+    name = "dead-count-consistent"
+
+    def after_write(self, state, result) -> None:
+        actual = int(np.count_nonzero(state.dead))
+        if state.dead_count != actual:
+            raise InvariantViolation(
+                f"{self.name}: maintained dead_count {state.dead_count} != "
+                f"mask population {actual}"
+            )
+
+
+class FaultMaskConsistent:
+    """The incremental fault mask matches first principles on the written line."""
+
+    name = "fault-mask-consistent"
+
+    def after_write(self, state, result) -> None:
+        memory = state.memory
+        counts = getattr(memory, "counts", None)
+        faulty = getattr(memory, "faulty", None)
+        if counts is None or faulty is None or counts.shape != faulty.shape:
+            return  # cell-granular stores (MLC) keep counts per cell pair
+        physical = result.physical
+        recomputed = counts[physical] >= memory.endurance[physical]
+        if not np.array_equal(faulty[physical], recomputed):
+            drifted = np.flatnonzero(faulty[physical] != recomputed)
+            raise InvariantViolation(
+                f"{self.name}: maintained fault mask of line {physical} drifted "
+                f"from counts>=endurance at cells {drifted.tolist()[:16]}"
+            )
+        fault_counts = getattr(memory, "fault_counts", None)
+        if fault_counts is not None:
+            actual = int(np.count_nonzero(faulty[physical]))
+            if int(fault_counts[physical]) != actual:
+                raise InvariantViolation(
+                    f"{self.name}: maintained fault count {int(fault_counts[physical])} "
+                    f"of line {physical} != mask population {actual}"
+                )
+
+
+def default_invariants() -> tuple:
+    """One instance of every checker, in documentation order."""
+    return (
+        StatsConservation(),
+        WindowWithinLine(),
+        DeadSetMonotone(),
+        DeadCountConsistent(),
+        FaultMaskConsistent(),
+    )
+
+
+# -- checkpoint/resume state equality ----------------------------------------
+
+
+def controller_state_snapshot(controller) -> dict:
+    """A comparable snapshot of everything a checkpoint must preserve."""
+    engine = controller.engine
+    stats = engine.stats
+    memory = engine.memory
+    snapshot = {
+        "stats": {
+            field: getattr(stats, field)
+            for field in (
+                "demand_writes", "gap_move_writes", "lost_writes", "sc_updates",
+                "window_slides", "total_flips", "set_flips", "reset_flips",
+                "compressed_writes", "uncompressed_writes",
+                "start_pointer_updates", "encoding_updates", "remaps",
+                "deaths", "revivals",
+            )
+        },
+        "heuristic_steps": dict(stats.heuristic_steps),
+        "stored": memory.stored.tolist(),
+        "counts": memory.counts.tolist(),
+        "endurance": memory.endurance.tolist(),
+        "metadata": [
+            (m.start_pointer, m.encoding, m.sc, m.compressed, m.stored_size)
+            for m in engine.metadata
+        ],
+        "dead": engine.dead.tolist(),
+        "dead_count": engine.dead_count,
+        "repairs": [dict(r) for r in engine.repairs],
+        "death_fault_counts": dict(engine.death_fault_counts),
+        "shadow": dict(controller._shadow),
+    }
+    start_gap = engine.start_gap
+    gaps = getattr(start_gap, "_gaps", None) or [start_gap]
+    snapshot["start_gap"] = [
+        (gap.start, gap.gap, gap.write_count, gap.gap_moves) for gap in gaps
+    ]
+    if engine.intra_wl is not None:
+        intra = engine.intra_wl
+        snapshot["intra_wl"] = (
+            list(intra._counters), list(intra._offsets), intra.rotations,
+        )
+    if engine.remapper is not None:
+        remapper = engine.remapper
+        snapshot["freep"] = (
+            list(remapper._free_spares),
+            sorted(remapper._remap.items()),
+            remapper.remaps_performed,
+        )
+    return snapshot
+
+
+def check_checkpoint_roundtrip(simulator, directory) -> None:
+    """Save a checkpoint, re-read it, and diff restored vs live state.
+
+    Raises :class:`InvariantViolation` naming the first field where the
+    pickled controller disagrees with the in-memory one -- the
+    checkpoint/resume equality invariant of the debug mode.
+    """
+    from ..lifetime.checkpoint import read_checkpoint
+
+    path = simulator.save_checkpoint(directory)
+    checkpoint = read_checkpoint(path)
+    live = controller_state_snapshot(simulator.controller)
+    restored = controller_state_snapshot(checkpoint.controller)
+    for field in live:
+        if live[field] != restored[field]:
+            raise InvariantViolation(
+                f"checkpoint round-trip: field {field!r} changed across "
+                f"pickle/unpickle"
+            )
+    if checkpoint.writes_issued != simulator.writes_issued:
+        raise InvariantViolation(
+            f"checkpoint round-trip: writes_issued {checkpoint.writes_issued} "
+            f"!= live {simulator.writes_issued}"
+        )

@@ -44,6 +44,7 @@ def test_unfinished_runs_raise():
         )
 
 
+@pytest.mark.slow
 def test_full_study_and_mean():
     studies = run_full_study(
         workloads=("milc", "zeusmp"), systems=("baseline", "comp_wf"),

@@ -1,166 +1,14 @@
-"""Pre-vectorization reference compressors (frozen copies).
+"""Pre-vectorization reference compressors (re-export shim).
 
-These are the pure-Python FPC and BDI ``compress`` paths exactly as
-they existed before the numpy hot-path rewrite (PR 2).  They are kept
-only as test oracles: ``test_vectorized_equivalence.py`` asserts the
-production kernels produce byte-identical :class:`CompressionResult`s
-for random and adversarial inputs.  Do not optimize this file -- its
-entire value is that it stays slow and obviously correct.
+The frozen loop-based FPC and BDI encoders now live in
+:mod:`repro.validate.refcompress`, where the differential-validation
+oracle stores lines with them.  This module keeps the historical import
+path for ``test_vectorized_equivalence.py``; the implementations are
+unchanged in behaviour (the BDI delta loop was rewritten numpy-free,
+pinned byte-identical by ``tests/validate/test_refcompress.py``).
 """
 
-from __future__ import annotations
-
-import numpy as np
-
-from repro.compression.base import LINE_SIZE_BYTES, CompressionResult
-from repro.compression.bdi import (
-    ENC_REP8,
-    ENC_UNCOMPRESSED,
-    ENC_ZEROS,
-    _SIGNED_DTYPE,
-    _UNSIGNED_DTYPE,
-    _VARIANTS_BY_SIZE,
+from repro.validate.refcompress import (  # noqa: F401
+    reference_bdi_compress,
+    reference_fpc_compress,
 )
-from repro.compression.fpc import ENC_FPC
-
-_WORD_BYTES = 4
-_WORDS_PER_LINE = LINE_SIZE_BYTES // _WORD_BYTES
-_BYTE_ORDER = "little"
-
-_PREFIX_BITS = 3
-_PREFIX_ZERO_RUN = 0b000
-_PREFIX_SE4 = 0b001
-_PREFIX_SE8 = 0b010
-_PREFIX_SE16 = 0b011
-_PREFIX_HI_HALF = 0b100
-_PREFIX_TWO_BYTES = 0b101
-_PREFIX_REPEATED = 0b110
-_PREFIX_UNCOMPRESSED = 0b111
-_MAX_ZERO_RUN = 8
-
-
-class _BitWriter:
-    """Append-only MSB-first bit buffer (pre-rewrite original)."""
-
-    def __init__(self) -> None:
-        self._value = 0
-        self.bit_count = 0
-
-    def write(self, value: int, width: int) -> None:
-        self._value = (self._value << width) | (value & ((1 << width) - 1))
-        self.bit_count += width
-
-    def to_bytes(self) -> bytes:
-        pad = (-self.bit_count) % 8
-        return ((self._value << pad)).to_bytes((self.bit_count + pad) // 8, "big")
-
-
-def _sign_extends(value: int, bits: int) -> bool:
-    limit = 1 << (bits - 1)
-    return -limit <= value < limit
-
-
-def _to_signed32(word: int) -> int:
-    return word - (1 << 32) if word >= (1 << 31) else word
-
-
-def _both_halves_byte_extend(word: int) -> bool:
-    for half in ((word >> 16) & 0xFFFF, word & 0xFFFF):
-        signed = half - (1 << 16) if half >= (1 << 15) else half
-        if not _sign_extends(signed, 8):
-            return False
-    return True
-
-
-def _repeated_bytes(word: int) -> bool:
-    byte = word & 0xFF
-    return word == byte * 0x01010101
-
-
-def _encode_word(writer: _BitWriter, word: int) -> None:
-    signed = _to_signed32(word)
-    if _sign_extends(signed, 4):
-        writer.write(_PREFIX_SE4, _PREFIX_BITS)
-        writer.write(signed, 4)
-    elif _sign_extends(signed, 8):
-        writer.write(_PREFIX_SE8, _PREFIX_BITS)
-        writer.write(signed, 8)
-    elif _sign_extends(signed, 16):
-        writer.write(_PREFIX_SE16, _PREFIX_BITS)
-        writer.write(signed, 16)
-    elif word & 0xFFFF == 0:
-        writer.write(_PREFIX_HI_HALF, _PREFIX_BITS)
-        writer.write(word >> 16, 16)
-    elif _both_halves_byte_extend(word):
-        writer.write(_PREFIX_TWO_BYTES, _PREFIX_BITS)
-        writer.write((word >> 16) & 0xFF, 8)
-        writer.write(word & 0xFF, 8)
-    elif _repeated_bytes(word):
-        writer.write(_PREFIX_REPEATED, _PREFIX_BITS)
-        writer.write(word & 0xFF, 8)
-    else:
-        writer.write(_PREFIX_UNCOMPRESSED, _PREFIX_BITS)
-        writer.write(word, 32)
-
-
-def reference_fpc_compress(data: bytes) -> CompressionResult:
-    """The original word-at-a-time FPC encoder."""
-    words = [
-        int.from_bytes(data[offset : offset + _WORD_BYTES], _BYTE_ORDER)
-        for offset in range(0, LINE_SIZE_BYTES, _WORD_BYTES)
-    ]
-    writer = _BitWriter()
-    index = 0
-    while index < _WORDS_PER_LINE:
-        word = words[index]
-        if word == 0:
-            run = 1
-            while (
-                index + run < _WORDS_PER_LINE
-                and words[index + run] == 0
-                and run < _MAX_ZERO_RUN
-            ):
-                run += 1
-            writer.write(_PREFIX_ZERO_RUN, _PREFIX_BITS)
-            writer.write(run - 1, 3)
-            index += run
-            continue
-        _encode_word(writer, word)
-        index += 1
-    return CompressionResult("fpc", ENC_FPC, writer.bit_count, writer.to_bytes())
-
-
-def _wrapped_deltas(data: bytes, width: int) -> np.ndarray:
-    words = np.frombuffer(data, dtype=_UNSIGNED_DTYPE[width])
-    return (words - words[0]).view(_SIGNED_DTYPE[width])
-
-
-def _try_variant(data: bytes, variant) -> bytes | None:
-    """The original per-delta ``int.to_bytes`` variant encoder."""
-    deltas = _wrapped_deltas(data, variant.base_bytes)
-    limit = 1 << (8 * variant.delta_bytes - 1)
-    if not bool(((deltas >= -limit) & (deltas < limit)).all()):
-        return None
-    parts = [data[: variant.base_bytes]]
-    parts.extend(
-        int(delta).to_bytes(variant.delta_bytes, _BYTE_ORDER, signed=True)
-        for delta in deltas
-    )
-    return b"".join(parts)
-
-
-def reference_bdi_compress(data: bytes) -> CompressionResult:
-    """The original sequential BDI encoder."""
-    if data == bytes(LINE_SIZE_BYTES):
-        return CompressionResult("bdi", ENC_ZEROS, 8, b"\x00")
-    if data[:8] * (LINE_SIZE_BYTES // 8) == data:
-        return CompressionResult("bdi", ENC_REP8, 64, data[:8])
-    for variant in _VARIANTS_BY_SIZE:
-        payload = _try_variant(data, variant)
-        if payload is not None:
-            return CompressionResult(
-                "bdi", variant.encoding, variant.compressed_bytes * 8, payload
-            )
-    return CompressionResult(
-        "bdi", ENC_UNCOMPRESSED, LINE_SIZE_BYTES * 8, bytes(data)
-    )

@@ -85,6 +85,7 @@ class TestFailureProbability:
 
 
 class TestPaperHeadlines:
+    @pytest.mark.slow
     def test_tolerable_faults_ordering_at_32_bytes(self):
         # Figure 9's 0.5-failure-probability crossings at 32 bytes:
         # paper reports ~18 / ~38 / ~41 for ECP-6 / SAFER-32 / Aegis.

@@ -69,6 +69,7 @@ def test_compression_reduces_wear_for_compressible_streams():
     assert flips("comp") < 0.8 * flips("baseline")
 
 
+@pytest.mark.slow
 def test_all_systems_reach_failure_and_order_sanely():
     """On a compression-friendly workload the systems' lifetimes are
     ordered baseline <= comp <= comp_wf (the Figure 10 milc column)."""
@@ -84,6 +85,7 @@ def test_all_systems_reach_failure_and_order_sanely():
     assert lifetimes["comp_wf"] > lifetimes["baseline"]
 
 
+@pytest.mark.slow
 def test_trace_replay_equals_generator_distribution():
     """Replaying a saved trace produces the same lifetime as streaming
     the generator that produced it (same writes, same order)."""

@@ -35,9 +35,14 @@ class ControllerMachine(RuleBasedStateMachine):
         system=st.sampled_from(["baseline", "comp", "comp_w", "comp_wf"]),
         endurance=st.integers(min_value=30, max_value=500),
         seed=st.integers(min_value=0, max_value=2**16),
+        # Tiny rotation periods so intra-line wear-leveling rotates
+        # (often repeatedly, wrapping offsets) within a 30-step run.
+        intra_limit=st.sampled_from([1, 3, 7, 2**16]),
     )
-    def setup(self, system, endurance, seed):
-        self.config = make_config(system, start_gap_psi=17)
+    def setup(self, system, endurance, seed, intra_limit):
+        self.config = make_config(
+            system, start_gap_psi=17, intra_counter_limit=intra_limit
+        )
         self.controller = CompressedPCMController(
             config=self.config,
             n_lines=N_LINES,
@@ -72,6 +77,22 @@ class ControllerMachine(RuleBasedStateMachine):
         stats = self.controller.stats
         assert stats.set_flips + stats.reset_flips == stats.total_flips
         assert stats.total_flips == self.controller.memory.total_programmed_flips()
+
+    @invariant()
+    def intra_wl_registers_in_range(self):
+        if not hasattr(self, "controller"):
+            return
+        leveler = self.controller.intra_wl
+        if leveler is None:
+            return
+        for bank in range(leveler.n_banks):
+            assert 0 <= leveler.offset(bank) < leveler.line_bytes
+            assert 0 <= leveler._counters[bank] < leveler.counter_limit
+        # Every saturation rotated exactly once, and only landed writes
+        # advance the counters (lost/dying writes never note_commit):
+        # residues plus rotations*period reconstruct the stored total.
+        recorded = sum(leveler._counters) + leveler.rotations * leveler.counter_limit
+        assert recorded == self.controller.stats.stored_writes
 
     @invariant()
     def deaths_monotone_without_revival(self):

@@ -1,0 +1,79 @@
+"""The bounded latency reservoir behind QueueingStats percentiles."""
+
+import numpy as np
+import pytest
+
+from repro.perf.queueing import (
+    RESERVOIR_CAPACITY,
+    LatencyReservoir,
+    MemoryControllerSim,
+    QueueingStats,
+    synthesize_requests,
+)
+
+
+class TestLatencyReservoir:
+    def test_exact_below_capacity(self):
+        reservoir = LatencyReservoir(capacity=64)
+        values = [float(v) for v in range(50)]
+        for value in values:
+            reservoir.append(value)
+        for percentile in (0, 25, 50, 90, 99, 100):
+            assert reservoir.percentile(percentile) == pytest.approx(
+                float(np.percentile(values, percentile))
+            )
+
+    def test_memory_stays_bounded(self):
+        reservoir = LatencyReservoir(capacity=128)
+        for value in range(100_000):
+            reservoir.append(float(value))
+        assert len(reservoir) == 128
+        assert reservoir.count == 100_000
+
+    def test_percentile_accuracy_on_known_distribution(self):
+        # 200k exponential draws: the default-capacity reservoir's
+        # percentile estimates must track the exact full-stream values.
+        rng = np.random.default_rng(11)
+        values = rng.exponential(scale=100.0, size=200_000)
+        reservoir = LatencyReservoir()
+        for value in values:
+            reservoir.append(float(value))
+        assert len(reservoir) == RESERVOIR_CAPACITY
+        for percentile, tolerance in ((50, 0.05), (90, 0.05), (99, 0.10)):
+            exact = float(np.percentile(values, percentile))
+            estimate = reservoir.percentile(percentile)
+            assert abs(estimate - exact) / exact < tolerance, (
+                f"p{percentile}: estimate {estimate:.2f} vs exact {exact:.2f}"
+            )
+
+    def test_deterministic_given_seed(self):
+        streams = [LatencyReservoir(seed=5), LatencyReservoir(seed=5)]
+        rng = np.random.default_rng(0)
+        for value in rng.exponential(50.0, size=20_000):
+            for reservoir in streams:
+                reservoir.append(float(value))
+        assert streams[0].percentile(99) == streams[1].percentile(99)
+
+    def test_empty_reservoir(self):
+        reservoir = LatencyReservoir()
+        assert not reservoir
+        assert reservoir.percentile(50) == 0.0
+        assert QueueingStats().read_latency_percentile(99) == 0.0
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            LatencyReservoir(capacity=0)
+
+
+class TestSimIntegration:
+    def test_long_run_keeps_constant_sample_memory(self):
+        requests = synthesize_requests(30_000, seed=3)
+        stats = MemoryControllerSim().run(requests)
+        assert stats.reads > RESERVOIR_CAPACITY
+        assert len(stats.read_latencies) == RESERVOIR_CAPACITY
+        assert stats.read_latencies.count == stats.reads
+        p50 = stats.read_latency_percentile(50)
+        p99 = stats.read_latency_percentile(99)
+        assert 0 < p50 <= p99
+        # The reservoir median must sit near the true mean-latency scale.
+        assert p50 < 4 * stats.mean_read_latency_ns

@@ -1,0 +1,156 @@
+"""Lockstep differential execution: clean runs, divergences, recipes.
+
+The mutation tests are the acceptance check for the whole oracle: each
+deliberately breaks one vectorized fast-path predicate and asserts the
+lockstep diff catches it with a recipe that reproduces the failure.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.compression.fpc import FPCCompressor
+from repro.engine import stages
+from repro.engine.registry import get_system
+from repro.validate import (
+    DivergenceError,
+    ValidatingController,
+    controller_from_recipe,
+    replay_recipe,
+)
+from repro.validate.fuzz import _PayloadPalette
+
+
+def _campaign(config, *, lines=24, banks=4, endurance=16.0, seed=3,
+              writes=800, payload_seed=5):
+    """Drive one lockstep campaign; returns the controller."""
+    controller = ValidatingController(
+        config, lines, endurance_mean=endurance, endurance_cov=0.2,
+        seed=seed, n_banks=banks,
+    )
+    palette = _PayloadPalette(np.random.default_rng(payload_seed), lines)
+    for _ in range(writes):
+        logical, payload = palette.next_op()
+        controller.write(logical, payload)
+    controller.verify_state()
+    return controller
+
+
+class TestCleanLockstep:
+    def test_worn_campaign_agrees_with_deaths_and_revivals(self):
+        # Small psi so Start-Gap cycles fast enough to revive dead
+        # blocks within the campaign; tiny endurance so blocks die.
+        config = get_system("comp_wf").configured(
+            correction_scheme="ecp6", start_gap_psi=23
+        )
+        controller = _campaign(config)
+        stats = controller.fast.stats
+        assert stats.deaths > 0, "campaign too gentle to exercise death"
+        assert stats.revivals > 0, "campaign never exercised revival"
+        assert stats.window_slides > 0
+
+    def test_freep_campaign_exercises_remap(self):
+        config = get_system("comp_wf_freep").configured(
+            correction_scheme="ecp6", start_gap_psi=23
+        )
+        controller = _campaign(config)
+        assert controller.fast.stats.remaps > 0, "FREE-p remap never fired"
+
+    def test_region_start_gap_and_safer_agree(self):
+        config = get_system("comp_wf_regions").configured(
+            correction_scheme="safer32", start_gap_psi=23
+        )
+        controller = _campaign(config, writes=600)
+        assert controller.fast.stats.deaths > 0
+
+
+class TestRecipes:
+    def test_recipe_is_json_serializable_and_rebuildable(self):
+        config = get_system("comp_wf").configured(correction_scheme="ecp6")
+        controller = ValidatingController(config, 8, seed=1, n_banks=4)
+        controller.write(3, bytes(64))
+        recipe = controller._recipe(3, bytes(64))
+        import json
+
+        rebuilt = controller_from_recipe(json.loads(json.dumps(recipe)))
+        assert rebuilt.config == config
+        assert rebuilt.n_lines == 8
+        assert rebuilt.seed == 1
+
+    def test_replay_of_clean_sequence_returns_none(self):
+        config = get_system("comp_wf").configured(correction_scheme="ecp6")
+        controller = ValidatingController(config, 8, seed=1, n_banks=4)
+        payloads = [bytes([i]) * 64 for i in range(6)]
+        for index, payload in enumerate(payloads):
+            controller.write(index % 8, payload)
+        recipe = controller._recipe(*controller.ops[-1])
+        assert replay_recipe(recipe) is None
+
+
+def _run_until_divergence(config, *, max_writes=3000, **kwargs):
+    """Drive a campaign expecting a mutation-induced divergence."""
+    controller = ValidatingController(
+        config, kwargs.pop("lines", 24),
+        endurance_mean=kwargs.pop("endurance", 12.0), endurance_cov=0.2,
+        seed=kwargs.pop("seed", 3), n_banks=kwargs.pop("banks", 4),
+    )
+    palette = _PayloadPalette(np.random.default_rng(7), 24)
+    with pytest.raises(DivergenceError) as excinfo:
+        for _ in range(max_writes):
+            logical, payload = palette.next_op()
+            controller.write(logical, payload)
+        controller.verify_state()
+        pytest.fail("mutated pipeline was never caught by the oracle")
+    return excinfo.value
+
+
+class TestMutationsAreCaught:
+    """Seeded faults in the fast path must be flushed out by the oracle."""
+
+    def test_broken_window_search_predicate_is_caught(self):
+        config = get_system("comp_wf").configured(correction_scheme="ecp6")
+        real_find_window = stages.find_window
+
+        def broken_find_window(faults, size, scheme, start_hint=0, **kw):
+            # Mutation: ignore fault positions once any exist -- the
+            # exact class of bug the window-placement stage must not
+            # have (placing payload bytes over stuck cells).
+            if len(faults) and size < 64:
+                return (start_hint + 1) % 64
+            return real_find_window(faults, size, scheme, start_hint=start_hint, **kw)
+
+        with pytest.MonkeyPatch.context() as patch:
+            patch.setattr(stages, "find_window", broken_find_window)
+            error = _run_until_divergence(config)
+            assert error.recipe["ops"], "recipe must carry the write sequence"
+            assert any(
+                "window" in diff or "stats" in diff or "stored" in diff
+                or "result" in diff
+                for diff in error.diffs
+            )
+            # The recipe is usable: replaying it under the same mutation
+            # reproduces the divergence from scratch.
+            replayed = replay_recipe(error.recipe)
+            assert isinstance(replayed, DivergenceError)
+        # ... and with the mutation reverted, the same recipe is clean.
+        assert replay_recipe(error.recipe) is None
+
+    def test_fpc_size_lie_is_caught(self):
+        config = get_system("comp_wf").configured(correction_scheme="ecp6")
+        real_compress = FPCCompressor.compress
+
+        def lying_compress(self, data):
+            result = real_compress(self, data)
+            # Mutation: under-report the FPC bitstream size, flipping
+            # best-of selections and corrupting the stored-size metadata.
+            return dataclasses.replace(
+                result, size_bits=max(8, result.size_bits - 48)
+            )
+
+        with pytest.MonkeyPatch.context() as patch:
+            patch.setattr(FPCCompressor, "compress", lying_compress)
+            error = _run_until_divergence(config, max_writes=200)
+            replayed = replay_recipe(error.recipe)
+            assert isinstance(replayed, DivergenceError)
+        assert replay_recipe(error.recipe) is None

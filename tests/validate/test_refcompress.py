@@ -1,0 +1,176 @@
+"""Reference codecs vs the vectorized production compressors.
+
+The reference encoders in ``repro.validate.refcompress`` are the frozen
+pre-vectorization originals; these tests pin them bit-for-bit against
+the numpy kernels (result fields, best-of selection, metadata packing)
+and check that the loop-based decoders invert them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compression import BestOfCompressor
+from repro.compression.base import CompressionError
+from repro.compression.bdi import BDICompressor
+from repro.compression.fpc import FPCCompressor
+from repro.validate.refcompress import (
+    reference_bdi_compress,
+    reference_bdi_decompress,
+    reference_best_compress,
+    reference_decode_metadata,
+    reference_decompress,
+    reference_encode_metadata,
+    reference_fpc_compress,
+    reference_fpc_decompress,
+)
+
+
+def _adversarial_lines() -> list[bytes]:
+    """Hand-built lines hitting every FPC prefix and BDI variant."""
+    lines = [
+        bytes(64),                                     # zeros
+        b"\xAB\xCD\x01\x02\x03\x04\x05\x06" * 8,        # rep8
+        b"\xFF" * 64,                                   # all ones
+    ]
+    # One line per BDI (base, delta) variant: base word + in-range deltas.
+    for base_bytes, delta_bytes in ((8, 1), (4, 1), (8, 2), (2, 1), (4, 2), (8, 4)):
+        base = (1 << (8 * base_bytes - 9)) + 12345 % (1 << (8 * base_bytes - 9))
+        limit = 1 << (8 * delta_bytes - 1)
+        words = [
+            (base + (delta % limit) - limit // 2) % (1 << (8 * base_bytes))
+            for delta in range(0, 64 // base_bytes)
+        ]
+        lines.append(
+            b"".join(word.to_bytes(base_bytes, "little") for word in words)
+        )
+    # FPC prefixes: SE4 / SE8 / SE16 / hi-half / two-bytes / repeated /
+    # uncompressed words, plus zero runs of every length 1..8.
+    fpc_words = [
+        7, (-3) & 0xFFFFFFFF,                      # SE4
+        100, (-100) & 0xFFFFFFFF,                  # SE8
+        30000, (-30000) & 0xFFFFFFFF,              # SE16
+        0xABCD0000,                                # hi-half
+        0x007F00FE,                                # two byte-extending halves
+        0x5A5A5A5A,                                # repeated byte
+        0xDEADBEEF,                                # uncompressed
+        0, 0, 0,                                   # short zero run
+        0x12345678, 0, 0xFFFFFFFF,
+    ]
+    lines.append(b"".join(word.to_bytes(4, "little") for word in fpc_words))
+    for run in range(1, 9):
+        words = [0] * run + [0xDEADBEEF] * (16 - run)
+        lines.append(b"".join(word.to_bytes(4, "little") for word in words))
+    # BDI wrap-around deltas: base near the top of the word range.
+    top = (1 << 64) - 3
+    words = [(top + delta) % (1 << 64) for delta in range(8)]
+    lines.append(b"".join(word.to_bytes(8, "little") for word in words))
+    return lines
+
+
+def _random_lines(count: int = 200) -> list[bytes]:
+    rng = np.random.default_rng(20260805)
+    lines = []
+    for index in range(count):
+        kind = index % 4
+        if kind == 0:
+            lines.append(bytes(rng.integers(256, size=64, dtype=np.uint8)))
+        elif kind == 1:  # BDI-friendly ramps
+            base = int(rng.integers(1 << 56))
+            words = [
+                (base + int(delta)) % (1 << 64)
+                for delta in rng.integers(-120, 120, size=8)
+            ]
+            lines.append(b"".join(word.to_bytes(8, "little") for word in words))
+        elif kind == 2:  # FPC-friendly small words
+            words = rng.integers(-(1 << 14), 1 << 14, size=16)
+            lines.append(
+                b"".join(int(w).to_bytes(4, "little", signed=True) for w in words)
+            )
+        else:  # sparse
+            line = bytearray(64)
+            for pos in rng.integers(64, size=3):
+                line[int(pos)] = int(rng.integers(1, 256))
+            lines.append(bytes(line))
+    return lines
+
+
+ALL_LINES = _adversarial_lines() + _random_lines()
+
+
+class TestAgainstProduction:
+    def test_fpc_matches_vectorized(self):
+        fast = FPCCompressor()
+        for data in ALL_LINES:
+            ref = reference_fpc_compress(data)
+            prod = fast.compress(data)
+            assert (ref.encoding, ref.size_bits, ref.payload) == (
+                prod.encoding, prod.size_bits, prod.payload,
+            ), data.hex()
+
+    def test_bdi_matches_vectorized(self):
+        fast = BDICompressor()
+        for data in ALL_LINES:
+            ref = reference_bdi_compress(data)
+            prod = fast.compress(data)
+            assert (ref.encoding, ref.size_bits, ref.payload) == (
+                prod.encoding, prod.size_bits, prod.payload,
+            ), data.hex()
+
+    def test_best_of_matches_production_selection(self):
+        best = BestOfCompressor()
+        for data in ALL_LINES:
+            ref = reference_best_compress(data)
+            prod = best.compress(data)
+            assert (ref.algorithm, ref.encoding, ref.size_bits, ref.payload) == (
+                prod.algorithm, prod.encoding, prod.size_bits, prod.payload,
+            ), data.hex()
+
+    def test_metadata_codec_matches_production(self):
+        best = BestOfCompressor()
+        for data in ALL_LINES:
+            ref = reference_best_compress(data)
+            prod = best.compress(data)
+            metadata = reference_encode_metadata(ref)
+            assert metadata == best.encode_metadata(prod)
+            member, encoding = best.decode_metadata(metadata)
+            assert reference_decode_metadata(metadata) == (member.name, encoding)
+
+
+class TestRoundTrips:
+    def test_fpc_round_trip(self):
+        for data in ALL_LINES:
+            result = reference_fpc_compress(data)
+            assert reference_fpc_decompress(result.payload) == data
+
+    def test_bdi_round_trip(self):
+        for data in ALL_LINES:
+            result = reference_bdi_compress(data)
+            assert reference_bdi_decompress(result.encoding, result.payload) == data
+
+    def test_best_round_trip_via_metadata(self):
+        for data in ALL_LINES:
+            result = reference_best_compress(data)
+            metadata = reference_encode_metadata(result)
+            restored = reference_decompress(metadata, result.payload, result.size_bits)
+            assert restored == data
+
+
+class TestErrors:
+    def test_bdi_rejects_bad_payload_sizes(self):
+        with pytest.raises(CompressionError):
+            reference_bdi_decompress(1 + 1, b"short")  # rep8 wants 8 bytes
+        with pytest.raises(CompressionError):
+            reference_bdi_decompress(3, bytes(10))  # b8d1 wants 16 bytes
+        with pytest.raises(CompressionError):
+            reference_bdi_decompress(42, bytes(16))
+
+    def test_fpc_rejects_truncated_bitstream(self):
+        result = reference_fpc_compress(b"\xDE\xAD\xBE\xEF" * 16)
+        with pytest.raises(CompressionError):
+            reference_fpc_decompress(result.payload[:-4])
+
+    def test_metadata_rejects_out_of_range(self):
+        with pytest.raises(CompressionError):
+            reference_decode_metadata(10)
+        with pytest.raises(CompressionError):
+            reference_decode_metadata(31)
