@@ -32,6 +32,7 @@ interleaved before/after process pairs on the same machine.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 import os
@@ -45,7 +46,7 @@ from repro.compression import BestOfCompressor, CachingCompressor
 from repro.core import EVALUATED_SYSTEMS, CompressedPCMController, make_config
 from repro.lifetime import LifetimeSimulator
 from repro.pcm import EnduranceModel, apply_write
-from repro.traces import SyntheticWorkload, get_profile
+from repro.traces import SyntheticWorkload, Trace, get_profile
 
 RESULTS_DIR = Path(__file__).parent / "results"
 BENCH_JSON = RESULTS_DIR / "BENCH_hotpath.json"
@@ -64,6 +65,11 @@ SIM_SEED = 7
 
 REPLAY_WRITES = _env_int("REPRO_HOTPATH_WRITES", 8000)
 REPS = _env_int("REPRO_HOTPATH_REPS", 3)
+
+#: Batch width for the batched-engine end-to-end comparison (the
+#: acceptance point of the batched write path; see ``test_batched_
+#: throughput``).
+BATCH_SIZE = 32
 
 #: Recorded writes/sec on the development machine (best-of interleaved
 #: process pairs, full 8000-write replay).  "before" is the commit that
@@ -114,7 +120,26 @@ def _build_trace():
     return workload.generate_trace(TRACE_WRITES)
 
 
-def _replay_once(system: str, trace) -> float:
+def _build_parallel_trace():
+    """The pinned payload stream with bank-interleaved addresses.
+
+    Same workload, seed, length, and payloads as :func:`_build_trace`,
+    but the address stream visits the lines round-robin -- the
+    line-parallel drain order a memory controller sees when write-backs
+    spread across banks, and the scenario the batched engine exists
+    for.  Serial and batched replays of this trace issue the identical
+    write sequence, so the batch=1 vs batch=K comparison is apples to
+    apples.
+    """
+    trace = _build_trace()
+    writes = [
+        dataclasses.replace(write, line=index % N_LINES)
+        for index, write in enumerate(trace.writes)
+    ]
+    return Trace(trace.workload, trace.n_lines, writes)
+
+
+def _replay_once(system: str, trace, batch: int = 1) -> float:
     simulator = LifetimeSimulator(
         config=make_config(system, intra_counter_limit=64),
         source=trace,
@@ -123,7 +148,7 @@ def _replay_once(system: str, trace) -> float:
         seed=SIM_SEED,
     )
     start = time.perf_counter()
-    simulator.run(max_writes=REPLAY_WRITES)
+    simulator.run(max_writes=REPLAY_WRITES, batch=batch)
     return REPLAY_WRITES / (time.perf_counter() - start)
 
 
@@ -170,6 +195,66 @@ def test_end_to_end_writes_per_sec(report):
 
     # Non-blocking on timing; blocking only on "the replay actually ran".
     assert all(value > 0 for value in measured.values())
+
+
+def test_batched_throughput(report):
+    """Serial vs batched engine on the line-parallel replay.
+
+    BLOCKING: batched execution must never be slower than serial on
+    the scenario it exists for (the CI perf-smoke gate).  The recorded
+    full-scale numbers are the PR's acceptance point: >= 2x writes/sec
+    at batch=32.  Serial runs are measured first so both modes see the
+    same warmed process (compression, mask, and payload caches).
+    """
+    trace = _build_parallel_trace()
+    serial: dict[str, float] = {}
+    batched: dict[str, float] = {}
+    for system in EVALUATED_SYSTEMS:
+        serial[system] = round(
+            max(_replay_once(system, trace) for _ in range(REPS)), 1
+        )
+    for system in EVALUATED_SYSTEMS:
+        batched[system] = round(
+            max(
+                _replay_once(system, trace, batch=BATCH_SIZE)
+                for _ in range(REPS)
+            ),
+            1,
+        )
+
+    lines = [
+        f"{'system':10}{'batch=1 w/s':>14}{'batch=32 w/s':>14}{'speedup':>9}"
+    ]
+    for system in EVALUATED_SYSTEMS:
+        lines.append(
+            f"{system:10}{serial[system]:14.1f}{batched[system]:14.1f}"
+            f"{batched[system] / serial[system]:9.2f}"
+        )
+    report("BENCH_hotpath_batched", "\n".join(lines))
+    _merge_json(
+        "batched",
+        {
+            "batch_size": BATCH_SIZE,
+            "replay_writes": REPLAY_WRITES,
+            "reps": REPS,
+            "scenario": (
+                f"{TRACE_WORKLOAD} payload stream, bank-interleaved "
+                f"addresses (round-robin over {N_LINES} lines)"
+            ),
+            "serial_writes_per_sec": serial,
+            "batched_writes_per_sec": batched,
+            "speedup": {
+                s: round(batched[s] / serial[s], 2)
+                for s in EVALUATED_SYSTEMS
+            },
+        },
+    )
+
+    for system in EVALUATED_SYSTEMS:
+        assert batched[system] >= serial[system], (
+            f"{system}: batched replay ({batched[system]:.0f} w/s) slower "
+            f"than serial ({serial[system]:.0f} w/s)"
+        )
 
 
 # -- microbenchmarks ----------------------------------------------------

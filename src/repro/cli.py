@@ -321,7 +321,12 @@ def cmd_report(args: argparse.Namespace) -> None:
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
     """Run differential fuzzing campaigns (or replay a corpus entry)."""
-    from .validate.fuzz import normalize_scheme, replay_corpus_entry, run_fuzz
+    from .validate.fuzz import (
+        normalize_scheme,
+        replay_corpus_entry,
+        run_fuzz,
+        write_campaign_manifest,
+    )
 
     if args.replay:
         error = replay_corpus_entry(args.replay)
@@ -359,6 +364,15 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     print(f"\n{len(ran)} campaigns, {sum(c.writes_run for c in ran)} writes, "
           f"{len(report.failures)} divergences, {len(report.skipped)} skipped "
           f"({report.elapsed_seconds:.1f}s)")
+    if args.corpus:
+        manifest = write_campaign_manifest(args.corpus, report, {
+            "seed": args.seed, "writes": args.writes,
+            "lines": args.lines, "banks": args.banks,
+            "endurance_mean": args.endurance, "endurance_cov": args.cov,
+            "systems": list(args.systems or system_names()),
+            "schemes": [normalize_scheme(s) for s in args.schemes],
+        })
+        print(f"manifest: {manifest}")
     if report.failures:
         for campaign in report.failures:
             print(f"\n== {campaign.system} / {campaign.scheme} ==")

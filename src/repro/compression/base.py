@@ -10,6 +10,7 @@ package, and the analysis harnesses can treat them uniformly.
 from __future__ import annotations
 
 import abc
+from collections.abc import Sequence  # noqa: TC003 -- used in signatures
 from dataclasses import dataclass, field
 
 #: Size of a memory line (and therefore of every compressor input), in bytes.
@@ -90,6 +91,17 @@ class Compressor(abc.ABC):
             CompressionError: If the payload is inconsistent with the
                 encoding, or the result belongs to another compressor.
         """
+
+    def compress_batch(self, lines: "Sequence[bytes]") -> list[CompressionResult]:
+        """Compress a batch of lines; element ``i`` equals ``compress(lines[i])``.
+
+        The base implementation is the per-line loop; vectorized
+        compressors override it with a 2-D kernel over the batch axis.
+        Overrides must stay *value-identical* to the loop (pinned by
+        ``tests/compression/test_batch_equivalence.py``) -- the batched
+        write engine relies on it for bit-exact batched/serial parity.
+        """
+        return [self.compress(data) for data in lines]
 
     def compressed_size_bytes(self, data: bytes) -> int:
         """Convenience wrapper returning only the byte-rounded size."""

@@ -146,6 +146,72 @@ class BDICompressor(Compressor):
             self.name, ENC_UNCOMPRESSED, LINE_SIZE_BYTES * 8, bytes(data)
         )
 
+    def compress_batch(self, lines) -> list[CompressionResult]:
+        """Batched :meth:`compress`: delta-fit checks over ``(K, n)`` matrices.
+
+        The zero/rep8 screens and every variant's wrapped-delta bounds
+        are computed for the whole batch at once; rows fall through the
+        variants in the same smallest-first order as the serial path,
+        so each row's winner (and payload bytes) is value-identical to
+        ``compress`` on that line alone.
+        """
+        if not lines:
+            return []
+        for data in lines:
+            self._check_input(data)
+        raw = [data if type(data) is bytes else bytes(data) for data in lines]
+        blob = b"".join(raw)
+        n_rows = len(raw)
+        byte_matrix = np.frombuffer(blob, dtype=np.uint8).reshape(
+            n_rows, LINE_SIZE_BYTES
+        )
+        results: list[CompressionResult | None] = [None] * n_rows
+
+        zero_rows = ~byte_matrix.any(axis=1)
+        words8 = np.frombuffer(blob, dtype="<u8").reshape(n_rows, -1)
+        rep8_rows = (words8 == words8[:, :1]).all(axis=1) & ~zero_rows
+        pending = ~(zero_rows | rep8_rows)
+
+        # width -> (wrapped deltas (K, n), per-row min, per-row max);
+        # filled lazily exactly like the serial path.
+        bounds: dict[int, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        for variant in _VARIANTS_BY_SIZE:
+            if not pending.any():
+                break
+            width = variant.base_bytes
+            entry = bounds.get(width)
+            if entry is None:
+                words = np.frombuffer(blob, dtype=_UNSIGNED_DTYPE[width]).reshape(
+                    n_rows, -1
+                )
+                deltas = (words - words[:, :1]).view(_SIGNED_DTYPE[width])
+                entry = bounds[width] = (
+                    deltas, deltas.min(axis=1), deltas.max(axis=1)
+                )
+            deltas, lowest, highest = entry
+            limit = 1 << (8 * variant.delta_bytes - 1)
+            fits = pending & (lowest >= -limit) & (highest < limit)
+            dtype = _DELTA_DTYPE[variant.delta_bytes]
+            for row in np.flatnonzero(fits):
+                payload = raw[row][:width] + deltas[row].astype(dtype).tobytes()
+                results[row] = CompressionResult(
+                    self.name,
+                    variant.encoding,
+                    variant.compressed_bytes * 8,
+                    payload,
+                )
+            pending &= ~fits
+
+        for row in np.flatnonzero(zero_rows):
+            results[row] = CompressionResult(self.name, ENC_ZEROS, 8, b"\x00")
+        for row in np.flatnonzero(rep8_rows):
+            results[row] = CompressionResult(self.name, ENC_REP8, 64, raw[row][:8])
+        for row in np.flatnonzero(pending):
+            results[row] = CompressionResult(
+                self.name, ENC_UNCOMPRESSED, LINE_SIZE_BYTES * 8, raw[row]
+            )
+        return results
+
     def decompress(self, result: CompressionResult) -> bytes:
         """Reconstruct the 64-byte line (see :class:`Compressor`)."""
         self._check_result(result)

@@ -64,6 +64,19 @@ class BestOfCompressor(Compressor):
         results = [compressor.compress(data) for compressor in self._compressors]
         return min(results, key=lambda result: result.size_bits)
 
+    def compress_batch(self, lines) -> list[CompressionResult]:
+        """Batched :meth:`compress`: one member batch call each, then
+        a per-row minimum with the same first-member tie-break."""
+        if not lines:
+            return []
+        per_member = [
+            compressor.compress_batch(lines) for compressor in self._compressors
+        ]
+        return [
+            min(row, key=lambda result: result.size_bits)
+            for row in zip(*per_member)
+        ]
+
     def compress_all(self, data: bytes) -> dict[str, CompressionResult]:
         """Results from every member, keyed by compressor name."""
         return {c.name: c.compress(data) for c in self._compressors}

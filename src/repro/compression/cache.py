@@ -23,6 +23,11 @@ from collections import OrderedDict
 
 from .base import CompressionResult, Compressor
 
+#: Placeholder cache value for a batch entry whose compression result is
+#: still outstanding (see :meth:`CachingCompressor.compress_batch`).  It
+#: only ever lives inside ``_entries`` during a single batch call.
+_PENDING = object()
+
 
 class CachingCompressor:
     """Bounded content-addressed LRU cache around any :class:`Compressor`.
@@ -74,6 +79,61 @@ class CachingCompressor:
         if len(entries) > self.capacity:
             entries.popitem(last=False)
         return result
+
+    def compress_batch(self, lines) -> list[CompressionResult]:
+        """Batched :meth:`compress` with exact serial cache semantics.
+
+        The probe/insert/evict/move-to-end bookkeeping is replayed key
+        by key in batch order -- placeholders stand in for results not
+        yet computed -- so the hit/miss counters and the LRU order end
+        up exactly as the per-line loop would leave them (a key evicted
+        mid-batch re-misses when it recurs, just like serial).  All
+        missing contents are then compressed in one
+        ``inner.compress_batch`` call and the placeholders are
+        resolved; repeated misses of one content share a single frozen
+        result, which is indistinguishable from serial's equal-valued
+        recomputes.
+        """
+        if not lines:
+            return []
+        entries = self._entries
+        capacity = self.capacity
+        keys = [data if type(data) is bytes else bytes(data) for data in lines]
+        slots: list = [None] * len(keys)
+        to_compute: dict[bytes, None] = {}
+        pending_in_cache: set[bytes] = set()
+        for index, key in enumerate(keys):
+            result = entries.get(key)
+            if result is not None:
+                self.hits += 1
+                entries.move_to_end(key)
+                slots[index] = key if result is _PENDING else result
+                continue
+            self.misses += 1
+            to_compute.setdefault(key)
+            entries[key] = _PENDING
+            pending_in_cache.add(key)
+            slots[index] = key
+            if len(entries) > capacity:
+                evicted_key, evicted_value = entries.popitem(last=False)
+                if evicted_value is _PENDING:
+                    pending_in_cache.discard(evicted_key)
+        try:
+            computed = dict(
+                zip(to_compute, self.inner.compress_batch(list(to_compute)))
+            )
+        except BaseException:
+            # A placeholder must never outlive the batch call: a later
+            # compress() would hand the sentinel out as a result.
+            for key in pending_in_cache:
+                entries.pop(key, None)
+            raise
+        for key in pending_in_cache:
+            entries[key] = computed[key]
+        return [
+            slot if isinstance(slot, CompressionResult) else computed[slot]
+            for slot in slots
+        ]
 
     def clear(self) -> None:
         """Drop all cached entries (counters are kept)."""

@@ -199,6 +199,61 @@ class CompressedPCMController:
         self.engine.stats.demand_writes += 1
         return self.pipeline.write_line(physical, data, revival_allowed=False)
 
+    def write_batch(
+        self, requests: list[tuple[int, bytes]]
+    ) -> list[WriteResult]:
+        """Handle a batch of demand write-backs from the LLC.
+
+        ``requests`` is a sequence of ``(logical, data)`` pairs, and the
+        result list is bit-identical to issuing the same :meth:`write`
+        calls in order.  Two events partition the batch: a Start-Gap
+        move relocates a line through the serial path, and a repeated
+        write to one physical line must observe the earlier write's
+        effects (including a possible FREE-p retirement), so at each
+        such cut the pending batch is flushed through
+        :meth:`~repro.engine.pipeline.WritePipeline.step_batch` and the
+        colliding address re-resolved.  Unlike :meth:`write`, all
+        request payloads are validated up front, before any side
+        effects.
+        """
+        for _, data in requests:
+            if len(data) != LINE_BYTES:
+                raise ValueError(f"write data must be {LINE_BYTES} bytes")
+        if self.pipeline.invariants:
+            # Invariant checkers assert per-write accounting (demand
+            # writes settle one at a time); batching stages it.
+            return [self.write(logical, data) for logical, data in requests]
+        pipeline = self.pipeline
+        remap = pipeline.remap
+        stats = self.engine.stats
+        results: list[WriteResult] = []
+        pending: list[tuple[int, bytes]] = []
+        pending_rows: set[int] = set()
+
+        def flush() -> None:
+            if pending:
+                results.extend(pipeline.step_batch(pending))
+                pending.clear()
+                pending_rows.clear()
+
+        for logical, data in requests:
+            movement = remap.on_demand_write(logical)
+            if movement is not None:
+                flush()
+                self._handle_gap_move(movement)
+            self._shadow[logical] = data
+            physical = remap.map_logical(logical)
+            stats.demand_writes += 1
+            if physical in pending_rows:
+                flush()
+                # The flushed batch wrote this same line, which may have
+                # retired it to a FREE-p spare; re-resolve the address.
+                physical = remap.map_logical(logical)
+            pending.append((physical, data))
+            pending_rows.add(physical)
+        flush()
+        return results
+
     def _resolve(self, physical: int) -> int:
         """Follow FREE-p remap pointers when the extension is enabled."""
         return self.engine.resolve(physical)

@@ -42,6 +42,7 @@ from .sweep import (
     SweepRunner,
     SweepTask,
     TaskFailure,
+    quarantine_attempt,
     run_task,
 )
 
@@ -68,6 +69,7 @@ __all__ = [
     "WriteResult",
     "get_system",
     "list_systems",
+    "quarantine_attempt",
     "register_system",
     "resolve_config",
     "run_task",

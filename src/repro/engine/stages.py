@@ -70,7 +70,31 @@ class CompressStage(Stage):
         """Fix the write's storage format on the context."""
         state = self.state
         meta = state.metadata[ctx.physical]
-        compressed, result, step = self._choose_format(meta, ctx.data)
+        self._apply_format(ctx, *self._choose_format(meta, ctx.data))
+        self._mirror_cache_counters()
+
+    def run_batch(self, ctxs: list[WriteContext]) -> None:
+        """Fix the storage format of a whole batch of contexts.
+
+        One ``compress_batch`` call replaces the per-write ``compress``
+        calls; the Figure 8 decisions then replay in batch order, so
+        the per-line metadata (``sc``), the heuristic counters, and --
+        because the batched cache replays its probe/evict bookkeeping
+        serially -- the cache counters all land exactly where the
+        equivalent ``run`` loop would put them.
+        """
+        state = self.state
+        if state.config.use_compression:
+            batch = state.compressor.compress_batch([ctx.data for ctx in ctxs])
+            for ctx, result in zip(ctxs, batch):
+                meta = state.metadata[ctx.physical]
+                self._apply_format(ctx, *self._decide(meta, result))
+        else:
+            for ctx in ctxs:
+                self._apply_format(ctx, False, None, 0)
+        self._mirror_cache_counters()
+
+    def _apply_format(self, ctx: WriteContext, compressed, result, step) -> None:
         ctx.compressed = compressed
         ctx.result = result
         ctx.step = step
@@ -80,19 +104,26 @@ class CompressStage(Stage):
         else:
             ctx.payload = ctx.data
             ctx.size = LINE_BYTES
+
+    def _mirror_cache_counters(self) -> None:
         # Mirror the cache counters into the stats every write so they
         # are always current when a caller snapshots ControllerStats.
         cache = self._cache
         if cache is not None:
-            state.stats.compression_cache_hits = cache.hits
-            state.stats.compression_cache_misses = cache.misses
+            stats = self.state.stats
+            stats.compression_cache_hits = cache.hits
+            stats.compression_cache_misses = cache.misses
 
     def _choose_format(self, meta, data: bytes):
         """Compression decision: (store compressed?, result, Fig-8 step)."""
         state = self.state
         if not state.config.use_compression:
             return False, None, 0
-        result = state.compressor.compress(data)
+        return self._decide(meta, state.compressor.compress(data))
+
+    def _decide(self, meta, result):
+        """The post-compression half of the decision (shared with batch)."""
+        state = self.state
         if result.size_bytes >= LINE_BYTES:
             return False, result, 0
         if state.heuristic is None:

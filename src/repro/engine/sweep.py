@@ -166,6 +166,41 @@ class SweepReport:
         }
 
 
+def quarantine_attempt(task: SweepTask, attempt: int) -> str | None:
+    """Preserve a crashed attempt's run artifacts before a retry.
+
+    Retrying into a run directory that still holds the crashed
+    attempt's files is a correctness trap: with ``resume`` set the
+    retry would silently resume from the *failed* attempt's latest
+    checkpoint -- state that may be exactly what made it crash --
+    instead of starting clean, and its telemetry stream would be
+    appended onto the crashed one.  Everything the attempt left behind
+    (checkpoints, ``events.jsonl``) is moved into an
+    ``attempt-<N>/`` subdirectory: kept for post-mortems, invisible to
+    ``latest_checkpoint`` and to the retry's fresh JSONL stream.
+
+    Returns the quarantine directory, or None when there was nothing
+    to move (checkpointing off, or the attempt died before creating
+    its run directory).
+    """
+    run_dir = task.run_dir
+    if run_dir is None or not os.path.isdir(run_dir):
+        return None
+    entries = [
+        name for name in os.listdir(run_dir)
+        if not name.startswith("attempt-")
+    ]
+    if not entries:
+        return None
+    quarantine = os.path.join(run_dir, f"attempt-{attempt}")
+    os.makedirs(quarantine, exist_ok=True)
+    for name in entries:
+        os.replace(
+            os.path.join(run_dir, name), os.path.join(quarantine, name)
+        )
+    return quarantine
+
+
 def run_task(task: SweepTask):
     """Execute one sweep task; the worker-process entry point."""
     # Imported here (not at module top) so the engine package can be
@@ -213,9 +248,12 @@ class SweepRunner:
             (matching ``run_system_comparison``); ``"spawned"`` derives
             an independent seed per run via ``SeedSequence.spawn``.
         retries: How often a failing task is re-executed before being
-            recorded as a :class:`TaskFailure` (0 = no retries; retries
-            rerun the task from scratch -- or from its latest
-            checkpoint when ``checkpoint_dir`` is set with ``resume``).
+            recorded as a :class:`TaskFailure` (0 = no retries).  Every
+            retry starts from a *clean* run directory: whatever the
+            crashed attempt left there (checkpoints, ``events.jsonl``)
+            is first moved into an ``attempt-<N>/`` subdirectory by
+            :func:`quarantine_attempt`, so a ``resume`` sweep never
+            silently resumes a failed attempt's stale state.
         failure_mode: What :meth:`run` does about failures --
             ``"raise"`` raises a :class:`SweepError` carrying the full
             report (completed sibling results included), ``"collect"``
@@ -368,6 +406,8 @@ class SweepRunner:
     def _attempt_serial(self, task: SweepTask):
         """Run one task in-process with the retry budget."""
         for attempt in range(1, self.retries + 2):
+            if attempt > 1:
+                quarantine_attempt(task, attempt - 1)
             try:
                 return run_task(task)
             except Exception as error:  # noqa: BLE001 -- captured, reported
@@ -392,6 +432,7 @@ class SweepRunner:
                         outcomes[index] = future.result()
                         continue
                     if attempts[index] <= self.retries:
+                        quarantine_attempt(tasks[index], attempts[index])
                         attempts[index] += 1
                         pending[pool.submit(run_task, tasks[index])] = index
                         continue

@@ -59,6 +59,12 @@ class Checkpoint:
     controller: object
     source: object
     trace_cursor: int = 0
+    #: Cumulative wall-clock seconds spent simulating across every
+    #: run segment up to this checkpoint, so resumed runs report
+    #: monotone ``elapsed_seconds`` telemetry.  Defaulted (and read
+    #: back with ``getattr``) so checkpoints pickled before the field
+    #: existed still load, reporting 0.0.
+    elapsed_seconds: float = 0.0
 
 
 def checkpoint_path(directory: str | Path, writes_issued: int) -> Path:

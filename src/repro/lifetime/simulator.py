@@ -104,6 +104,10 @@ class LifetimeSimulator:
         self.writes_issued = 0
         #: Replay position within a Trace source (unused for generators).
         self.trace_cursor = 0
+        #: Cumulative wall-clock seconds spent in run() across every
+        #: segment of this experiment (carried through checkpoints, so
+        #: resumed telemetry stays monotone in elapsed_seconds).
+        self.elapsed_seconds = 0.0
 
     # -- write stream ----------------------------------------------------
 
@@ -147,6 +151,7 @@ class LifetimeSimulator:
             controller=self.controller,
             source=self.source,
             trace_cursor=self.trace_cursor,
+            elapsed_seconds=self.elapsed_seconds,
         )
         return write_checkpoint(checkpoint, directory, keep=keep)
 
@@ -177,14 +182,47 @@ class LifetimeSimulator:
         self.source = checkpoint.source
         self.trace_cursor = checkpoint.trace_cursor
         self.writes_issued = checkpoint.writes_issued
+        # getattr: checkpoints pickled before the field existed.
+        self.elapsed_seconds = getattr(checkpoint, "elapsed_seconds", 0.0)
 
     # -- the run loop ----------------------------------------------------
+
+    def _step_epoch(
+        self,
+        batch: int,
+        writes: int,
+        max_writes: int,
+        check_interval: int,
+        checkpoint_interval: int,
+        heartbeat_interval: int,
+    ) -> int:
+        """Issue one batched epoch; returns the number of writes drained.
+
+        The epoch size starts at ``batch`` and is capped at the
+        distance to the next multiple of every active cadence (failure
+        check, checkpoint, heartbeat -- pass 0 for inactive ones) and
+        to the write budget, so cadence events land at exactly the same
+        write counts as a serial run.
+        """
+        size = min(batch, max_writes - writes)
+        for interval in (check_interval, checkpoint_interval, heartbeat_interval):
+            if interval:
+                remaining = interval - writes % interval
+                if remaining < size:
+                    size = remaining
+        requests = []
+        for _ in range(size):
+            write_back = self._next_write()
+            requests.append((write_back.line, write_back.data))
+        self.controller.write_batch(requests)
+        return size
 
     def run(
         self,
         max_writes: int = 2_000_000,
         check_interval: int = 64,
         *,
+        batch: int = 1,
         checkpoint_dir: str | Path | None = None,
         checkpoint_interval: int = DEFAULT_CHECKPOINT_INTERVAL,
         resume_from: Checkpoint | str | Path | None = None,
@@ -199,6 +237,15 @@ class LifetimeSimulator:
                 budget or shrink the memory rather than compare
                 unfinished runs).
             check_interval: Writes between failure-criterion checks.
+            batch: Write-backs issued per controller call.  ``batch > 1``
+                drains the write stream in epochs through the batched
+                line-parallel engine
+                (:meth:`~repro.core.CompressedPCMController.write_batch`,
+                which serializes same-line collisions internally); each
+                epoch is capped at the distance to the next failure
+                check, checkpoint, and heartbeat, so every cadence fires
+                at exactly the write counts a ``batch=1`` run would use
+                and the result is bit-identical to ``batch=1``.
             checkpoint_dir: When set, a durable checkpoint is written
                 there every ``checkpoint_interval`` writes (atomic
                 write-rename; see :mod:`repro.lifetime.checkpoint`).
@@ -218,6 +265,8 @@ class LifetimeSimulator:
             raise ValueError("checkpoint_interval must be >= 1")
         if heartbeat_interval < 1:
             raise ValueError("heartbeat_interval must be >= 1")
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
         if resume_from is not None:
             self.restore(resume_from)
         self._validate_source()
@@ -227,14 +276,22 @@ class LifetimeSimulator:
         writes = self.writes_issued
         failed = False
         started = time.monotonic()
+        elapsed_base = self.elapsed_seconds
         rate_anchor_writes, rate_anchor_time = writes, started
         for observer in observers:
             observer.on_run_start(self, writes)
 
         while writes < max_writes:
-            write_back = self._next_write()
-            controller.write(write_back.line, write_back.data)
-            writes += 1
+            if batch == 1:
+                write_back = self._next_write()
+                controller.write(write_back.line, write_back.data)
+                writes += 1
+            else:
+                writes += self._step_epoch(
+                    batch, writes, max_writes, check_interval,
+                    checkpoint_interval if checkpointing else 0,
+                    heartbeat_interval if observers else 0,
+                )
             self.writes_issued = writes
             if writes % check_interval == 0 and (
                 controller.dead_fraction >= self.dead_threshold
@@ -242,12 +299,16 @@ class LifetimeSimulator:
                 failed = True
                 break
             if checkpointing and writes % checkpoint_interval == 0:
+                self.elapsed_seconds = elapsed_base + (
+                    time.monotonic() - started
+                )
                 path = self.save_checkpoint(checkpoint_dir)
                 for observer in observers:
                     observer.on_checkpoint(path, writes)
             if observers and writes % heartbeat_interval == 0:
                 now = time.monotonic()
                 elapsed = now - rate_anchor_time
+                self.elapsed_seconds = elapsed_base + (now - started)
                 stats = controller.stats
                 event = HeartbeatEvent(
                     system=self.config.name,
@@ -257,7 +318,7 @@ class LifetimeSimulator:
                     dead_fraction=controller.dead_fraction,
                     compression_cache_hits=stats.compression_cache_hits,
                     compression_cache_misses=stats.compression_cache_misses,
-                    elapsed_seconds=now - started,
+                    elapsed_seconds=self.elapsed_seconds,
                     writes_per_second=(
                         (writes - rate_anchor_writes) / elapsed
                         if elapsed > 0 else 0.0
@@ -267,6 +328,7 @@ class LifetimeSimulator:
                 for observer in observers:
                     observer.on_heartbeat(event)
 
+        self.elapsed_seconds = elapsed_base + (time.monotonic() - started)
         stats = controller.stats
         # Per-stage counters are the single source of truth: derive the
         # stored-write total rather than re-counting it here.

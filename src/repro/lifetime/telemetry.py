@@ -27,7 +27,10 @@ from pathlib import Path
 from typing import TextIO
 
 #: JSONL event-schema version (see docs/API.md, "Durability & telemetry").
-TELEMETRY_VERSION = 1
+#: Version 2: ``elapsed_seconds`` became cumulative across resume cuts
+#: (version 1 restarted it at every ``run()`` call, so a resumed run's
+#: stream was non-monotone in it).
+TELEMETRY_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -41,7 +44,10 @@ class HeartbeatEvent:
     dead_fraction: float
     compression_cache_hits: int
     compression_cache_misses: int
-    elapsed_seconds: float  # since run()/resume started (monotonic)
+    #: Cumulative simulation wall-clock: the sum over *every* run
+    #: segment since write 0, carried through checkpoints, so the field
+    #: is strictly monotone along a stream even across resume cuts.
+    elapsed_seconds: float
     writes_per_second: float  # mean rate since the previous heartbeat
 
     @property

@@ -41,6 +41,15 @@ class PCMBankArray:
         # `counts >= endurance` (512 uint64 compares) on every query.
         self.faulty = self.counts >= self.endurance
         self.fault_counts = np.count_nonzero(self.faulty, axis=1)
+        # Cheap per-row wear bound for the batched fast path: one write
+        # programs each cell at most once, so every cell's count is
+        # bounded by the number of writes the row has absorbed.  A row
+        # whose write total is still at most ``no_wear_limit`` (its
+        # weakest cell's endurance minus one) provably has no faulty
+        # cell and cannot wear one out on the next write, which lets
+        # :meth:`write_rows` skip the per-cell endurance/fault scans.
+        self.row_writes = np.zeros(n_blocks, dtype=np.int64)
+        self.no_wear_limit = self.endurance.min(axis=1).astype(np.int64) - 1
 
     def write(
         self,
@@ -60,6 +69,7 @@ class PCMBankArray:
             faulty=self.faulty[block_index],
             has_faults=bool(self.fault_counts[block_index]),
         )
+        self.row_writes[block_index] += 1
         worn = outcome.new_fault_positions.size
         if worn:
             self.fault_counts[block_index] += worn
@@ -73,6 +83,69 @@ class PCMBankArray:
     ) -> WriteOutcome:
         """Byte-level convenience wrapper around :meth:`write`."""
         return self.write(block_index, bytes_to_bits(data), update_mask)
+
+    def write_rows(
+        self,
+        rows: np.ndarray,
+        targets: np.ndarray,
+        masks: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Differential write of K *distinct* lines in one vectorized pass.
+
+        ``rows`` is a ``(K,)`` line-index vector -- duplicates are not
+        allowed, the fancy-indexed scatter would silently drop all but
+        one update per line -- ``targets`` a ``(K, 512)`` 0/1 matrix and
+        ``masks`` a ``(K, 512)`` boolean update-mask matrix, or ``None``
+        to treat every cell as updatable (windowed callers overlay the
+        payload on a copy of the stored rows, so out-of-window cells
+        compare equal and are untouched without a mask).  Row ``j`` has
+        exactly the :meth:`write` semantics under ``STUCK_AT_LAST``
+        faults: cells outside the mask, already-faulty cells, and cells
+        whose stored value matches the target are untouched; every
+        programmed cell's count is bumped, and cells reaching their
+        endurance limit become stuck at the value just written.
+
+        Returns ``(programmed, set_flips, new_faults)``, one ``(K,)``
+        vector each, aligned with ``rows``.
+        """
+        if self.fault_mode is not FaultMode.STUCK_AT_LAST:
+            raise ValueError("write_rows supports STUCK_AT_LAST faults only")
+        row_writes = self.row_writes[rows] + 1
+        self.row_writes[rows] = row_writes
+        if (row_writes <= self.no_wear_limit[rows]).all():
+            # Wear-free rows (the common case until late life): no
+            # faulty cells exist and none can appear this write, so the
+            # fault mask, the endurance compare, and the worn scatter
+            # all drop out.
+            stored = self.stored[rows]
+            want = stored != targets
+            if masks is not None:
+                want &= masks
+                np.copyto(stored, targets, where=want)
+                self.stored[rows] = stored
+            else:
+                self.stored[rows] = targets
+            self.counts[rows] += want
+            programmed = want.sum(axis=1)
+            set_flips = (want & (targets != 0)).sum(axis=1)
+            return programmed, set_flips, np.zeros(len(rows), dtype=np.int64)
+        stored = self.stored[rows]
+        want = stored != targets
+        if masks is not None:
+            want &= masks
+        want &= ~self.faulty[rows]
+        new_counts = self.counts[rows] + want
+        worn = want & (new_counts >= self.endurance[rows])
+        np.copyto(stored, targets, where=want)
+        self.stored[rows] = stored
+        self.counts[rows] = new_counts
+        worn_per_row = worn.sum(axis=1)
+        if worn_per_row.any():
+            self.faulty[rows] |= worn
+            self.fault_counts[rows] += worn_per_row
+        programmed = want.sum(axis=1)
+        set_flips = (want & (targets != 0)).sum(axis=1)
+        return programmed, set_flips, worn_per_row
 
     def read_bits(self, block_index: int) -> np.ndarray:
         """The line's current cell values (0/1 array)."""

@@ -38,6 +38,9 @@ SCHEME_ALIASES = {"aegis": "aegis17x31"}
 #: Bound on from-scratch replays one shrink pass may spend.
 DEFAULT_SHRINK_REPLAYS = 60
 
+#: Campaign-manifest JSON schema version.
+CAMPAIGN_MANIFEST_VERSION = 1
+
 
 @dataclass
 class CampaignResult:
@@ -200,6 +203,47 @@ def write_corpus_entry(
         "ops_shrunk_to": len(recipe["ops"]),
     }
     path.write_text(json.dumps(entry, indent=2, sort_keys=True))
+    return path
+
+
+def write_campaign_manifest(
+    corpus_dir: str | Path, report: FuzzReport, params: dict
+) -> Path:
+    """Append one run's summary to the corpus campaign ledger.
+
+    The manifest is the "we looked and found nothing" artifact: corpus
+    entries only exist for divergences, so a clean campaign would leave
+    no trace of how much fuzzing the checked-in corpus actually
+    represents.  Each :func:`run_fuzz` invocation appends one record
+    (parameters, outcome counts, and the corpus entry of every
+    divergence) to ``campaign-manifest.json`` under ``corpus_dir``.
+    """
+    directory = Path(corpus_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / "campaign-manifest.json"
+    if path.exists():
+        manifest = json.loads(path.read_text())
+    else:
+        manifest = {"version": CAMPAIGN_MANIFEST_VERSION, "runs": []}
+    ran = [c for c in report.campaigns if not c.skipped]
+    manifest["runs"].append({
+        **params,
+        "campaigns": len(ran),
+        "writes_run": sum(c.writes_run for c in ran),
+        "skipped": len(report.skipped),
+        "elapsed_seconds": round(report.elapsed_seconds, 1),
+        "divergences": [
+            {
+                "system": c.system,
+                "scheme": c.scheme,
+                "corpus_entry": (
+                    c.corpus_path.name if c.corpus_path else None
+                ),
+            }
+            for c in report.failures
+        ],
+    })
+    path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
     return path
 
 

@@ -103,6 +103,58 @@ class ValidatingController:
             )
         return fast_result
 
+    def write_batch(self, requests):
+        """Issue a batch to the fast model, serially to the oracle, diff.
+
+        The fast controller retires the whole batch through
+        :meth:`~repro.core.controller.CompressedPCMController.write_batch`
+        while the oracle replays the same requests one by one -- the
+        strongest equivalence check the batched engine gets.  Per-write
+        result rows are diffed pairwise; the cross-cutting state (stats,
+        wear-leveling registers, dead set, written lines, read-backs) is
+        diffed once both sides have retired every write, since it is
+        only comparable at batch boundaries.
+        """
+        requests = [(logical, bytes(data)) for logical, data in requests]
+        start_index = self.write_index
+        self.ops.extend(requests)
+        fast_results = self.fast.write_batch(requests)
+        oracle_records = [
+            self.oracle.write(logical, data) for logical, data in requests
+        ]
+        diffs: list[str] = []
+        for offset, (fast_result, record) in enumerate(
+            zip(fast_results, oracle_records)
+        ):
+            diffs.extend(
+                f"[write {start_index + offset}] {line}"
+                for line in self._diff_result(fast_result, record)
+            )
+        self.write_index += len(requests)
+        diffs.extend(self._diff_globals())
+        seen_lines: set[int] = set()
+        seen_logicals: set[int] = set()
+        for (logical, _), fast_result in zip(requests, fast_results):
+            if fast_result.physical not in seen_lines:
+                seen_lines.add(fast_result.physical)
+                diffs.extend(self._diff_line(fast_result.physical))
+            if logical not in seen_logicals:
+                seen_logicals.add(logical)
+                diffs.extend(self._diff_read(logical))
+        if self.check_state_every and (
+            self.write_index // self.check_state_every
+            > start_index // self.check_state_every
+        ):
+            diffs.extend(self._diff_full_state())
+        if diffs:
+            raise DivergenceError(
+                f"fast/oracle divergence in batched writes "
+                f"[{start_index}, {self.write_index})",
+                diffs,
+                self._recipe(*requests[-1]),
+            )
+        return fast_results
+
     def verify_state(self) -> None:
         """Full-memory comparison; raises :class:`DivergenceError`."""
         diffs = self._diff_full_state()
@@ -116,6 +168,14 @@ class ValidatingController:
     # -- diffing ---------------------------------------------------------
 
     def _diff_write(self, logical: int, fast_result, oracle_record: dict) -> list[str]:
+        diffs = self._diff_result(fast_result, oracle_record)
+        diffs.extend(self._diff_globals())
+        diffs.extend(self._diff_line(fast_result.physical))
+        diffs.extend(self._diff_read(logical))
+        return diffs
+
+    @staticmethod
+    def _diff_result(fast_result, oracle_record: dict) -> list[str]:
         diffs: list[str] = []
         for field, oracle_value in oracle_record.items():
             fast_value = getattr(fast_result, field)
@@ -123,7 +183,10 @@ class ValidatingController:
                 diffs.append(
                     f"result.{field}: fast={fast_value!r} oracle={oracle_value!r}"
                 )
+        return diffs
 
+    def _diff_globals(self) -> list[str]:
+        diffs: list[str] = []
         fast_stats = self._fast_stats_dict()
         oracle_stats = self.oracle.stats_dict()
         for field, oracle_value in oracle_stats.items():
@@ -150,17 +213,16 @@ class ValidatingController:
             diffs.append(
                 f"dead_count: fast={fast_dead_count} oracle={self.oracle.dead_count}"
             )
+        return diffs
 
-        physical = fast_result.physical
-        diffs.extend(self._diff_line(physical))
-
+    def _diff_read(self, logical: int) -> list[str]:
         fast_read = self._guarded_read(self.fast, logical)
         oracle_read = self._guarded_read(self.oracle, logical)
         if fast_read != oracle_read:
-            diffs.append(
+            return [
                 f"read({logical}): fast={_hex(fast_read)} oracle={_hex(oracle_read)}"
-            )
-        return diffs
+            ]
+        return []
 
     @staticmethod
     def _guarded_read(model, logical: int):

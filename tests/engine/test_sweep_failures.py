@@ -9,7 +9,9 @@ the rest of the grid completes, and the run-manifest records both.
 
 from __future__ import annotations
 
+import dataclasses
 import json
+from pathlib import Path
 
 import pytest
 
@@ -20,7 +22,9 @@ from repro.engine import (
     TaskFailure,
     run_task,
 )
+from repro.engine.sweep import quarantine_attempt
 from repro.lifetime import latest_checkpoint, run_system_comparison
+from repro.lifetime.checkpoint import list_checkpoints
 
 SMALL = dict(n_lines=24, endurance_mean=12.0, max_writes=600_000)
 #: An unregistered system name: the worker raises inside
@@ -112,6 +116,127 @@ class TestRetries:
         ).run_report(("milc",), seed=3)
         [failure] = report.failures
         assert failure.attempts == 2
+
+
+class TestRetryQuarantine:
+    """A retry must never resume the crashed attempt's stale state.
+
+    Before the fix, a retried task reran into the same run directory:
+    with ``resume=True`` it silently resumed from the *failed*
+    attempt's latest checkpoint -- state that may be exactly what made
+    the attempt crash -- and its telemetry was appended onto the
+    crashed stream.  Now every retry quarantines the leftovers into
+    ``attempt-<N>/`` first and starts clean.
+    """
+
+    def test_retry_does_not_resume_the_crashed_attempts_state(
+        self, tmp_path, monkeypatch
+    ):
+        """Crash after the second checkpoint; the first attempt's state
+        is (silently) corrupted in between, so resuming its checkpoint
+        would finish with a result no clean run can produce."""
+        from repro.lifetime.telemetry import JsonlObserver
+
+        clean = run_system_comparison(
+            "milc", systems=("comp_wf",), seed=3, **SMALL
+        )["comp_wf"]
+
+        state = {"simulator": None, "checkpoints": 0}
+        real_start = JsonlObserver.on_run_start
+        real_checkpoint = JsonlObserver.on_checkpoint
+
+        def spying_start(self, simulator, writes_issued):
+            state["simulator"] = simulator
+            real_start(self, simulator, writes_issued)
+
+        def sabotaging_checkpoint(self, path, writes_issued):
+            real_checkpoint(self, path, writes_issued)
+            state["checkpoints"] += 1
+            if state["checkpoints"] == 1:
+                # Corrupt the running attempt: skip part of the write
+                # stream, so the next checkpoint captures a state no
+                # clean run ever reaches.
+                for _ in range(3):
+                    state["simulator"]._next_write()
+            elif state["checkpoints"] == 2:
+                raise RuntimeError("transient storage hiccup")
+
+        monkeypatch.setattr(JsonlObserver, "on_run_start", spying_start)
+        monkeypatch.setattr(JsonlObserver, "on_checkpoint", sabotaging_checkpoint)
+
+        runner = SweepRunner(
+            systems=("comp_wf",), workers=1, retries=1,
+            checkpoint_dir=str(tmp_path), checkpoint_interval=300,
+            resume=True, **SMALL,
+        )
+        report = runner.run_report(("milc",), seed=3)
+        assert report.ok
+        assert report.results["milc"]["comp_wf"] == clean
+
+        run_dir = tmp_path / "milc-comp_wf"
+        quarantined = run_dir / "attempt-1"
+        assert list_checkpoints(quarantined), "crashed checkpoints kept"
+        assert (quarantined / "events.jsonl").exists()
+        # The retry's telemetry is a fresh stream: exactly one start
+        # event, and it did not resume anything.
+        events = [
+            json.loads(line)
+            for line in (run_dir / "events.jsonl").read_text().splitlines()
+        ]
+        starts = [e for e in events if e["event"] == "start"]
+        assert len(starts) == 1
+        assert starts[0]["resumed"] is False
+
+    def test_corrupt_checkpoint_self_heals_in_the_parallel_pool(self, tmp_path):
+        """A torn/garbage checkpoint fails the first attempt; the retry
+        quarantines it and completes cleanly (both pool workers)."""
+        clean = run_system_comparison(
+            "milc", systems=("baseline", "comp_wf"), seed=3, **SMALL
+        )
+        run_dir = tmp_path / "milc-comp_wf"
+        run_dir.mkdir(parents=True)
+        poison = run_dir / "checkpoint-000000000100.pkl"
+        poison.write_bytes(b"not a pickle")
+
+        runner = SweepRunner(
+            systems=("baseline", "comp_wf"), workers=2, retries=1,
+            checkpoint_dir=str(tmp_path), checkpoint_interval=300,
+            resume=True, **SMALL,
+        )
+        report = runner.run_report(("milc",), seed=3)
+        assert report.ok
+        assert report.results["milc"] == clean
+        assert (run_dir / "attempt-1" / poison.name).read_bytes() == (
+            b"not a pickle"
+        )
+        assert poison not in list_checkpoints(run_dir)
+
+    def test_quarantine_numbering_and_noop_paths(self, tmp_path):
+        task = SweepTask(
+            system="comp_wf", workload="milc", n_lines=8,
+            endurance_mean=5.0, endurance_cov=0.15, seed=0, max_writes=100,
+            checkpoint_dir=str(tmp_path),
+        )
+        # Checkpointing off, missing run dir, empty run dir: no-ops.
+        assert quarantine_attempt(
+            dataclasses.replace(task, checkpoint_dir=None), 1
+        ) is None
+        assert quarantine_attempt(task, 1) is None
+        run_dir = Path(task.run_dir)
+        run_dir.mkdir(parents=True)
+        assert quarantine_attempt(task, 1) is None
+
+        (run_dir / "events.jsonl").write_text("{}\n")
+        assert quarantine_attempt(task, 1) == str(run_dir / "attempt-1")
+        assert (run_dir / "attempt-1" / "events.jsonl").exists()
+
+        (run_dir / "checkpoint-000000000001.pkl").write_bytes(b"x")
+        assert quarantine_attempt(task, 2) == str(run_dir / "attempt-2")
+        # Later quarantines never disturb earlier ones...
+        assert (run_dir / "attempt-1" / "events.jsonl").exists()
+        assert (run_dir / "attempt-2" / "checkpoint-000000000001.pkl").exists()
+        # ... and a directory holding only attempt-*/ is again a no-op.
+        assert quarantine_attempt(task, 3) is None
 
 
 class TestManifestAndCheckpoints:

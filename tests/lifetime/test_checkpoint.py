@@ -9,7 +9,9 @@ equivalence checks stay fast.
 
 from __future__ import annotations
 
+import itertools
 import json
+import types
 
 import pytest
 
@@ -178,6 +180,55 @@ class TestTelemetry:
         last = Counting.events[-1]
         assert last.writes_issued % 256 == 0
         assert 0.0 <= last.dead_fraction <= 1.0
+
+    def test_resumed_stream_elapsed_seconds_is_monotone(
+        self, tmp_path, monkeypatch
+    ):
+        """A resumed run's heartbeats continue the cumulative clock.
+
+        ``elapsed_seconds`` used to restart at zero on every ``run()``
+        call while ``writes_issued`` kept counting, so the JSONL stream
+        of a resumed run was non-monotone in it and any whole-run rate
+        derived from the stream was garbage.  The fake clock advances
+        one second per reading, making the regression deterministic.
+        """
+        from repro.lifetime import simulator as simulator_module
+
+        ticks = itertools.count(1)
+        monkeypatch.setattr(
+            simulator_module, "time",
+            types.SimpleNamespace(monotonic=lambda: float(next(ticks))),
+        )
+        path = tmp_path / "events.jsonl"
+        telemetry = dict(
+            checkpoint_dir=tmp_path, checkpoint_interval=500,
+            heartbeat_interval=500,
+        )
+        first = small_simulator()
+        first.run(max_writes=1_500, observers=(JsonlObserver(path),),
+                  **telemetry)
+        resumed = small_simulator()
+        resumed.run(max_writes=3_000, observers=(JsonlObserver(path),),
+                    resume_from=latest_checkpoint(tmp_path), **telemetry)
+
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        starts = [e for e in events if e["event"] == "start"]
+        assert [s["resumed"] for s in starts] == [False, True]
+        heartbeats = [e for e in events if e["event"] == "heartbeat"]
+        assert [e["writes_issued"] for e in heartbeats] == [
+            500, 1_000, 1_500, 2_000, 2_500, 3_000
+        ]
+        elapsed = [e["elapsed_seconds"] for e in heartbeats]
+        assert all(b > a for a, b in zip(elapsed, elapsed[1:])), elapsed
+        # The rate anchor resets at the resume point, never at write 0:
+        # every heartbeat covers exactly 500 writes over >= 1 fake
+        # second, so a rate above 500 w/s means a mis-anchored window.
+        for event in heartbeats:
+            assert 0 < event["writes_per_second"] <= 500
+        # The cumulative clock is carried by the checkpoints themselves.
+        checkpoint = read_checkpoint(latest_checkpoint(tmp_path))
+        assert checkpoint.elapsed_seconds > 0
+        assert resumed.elapsed_seconds >= checkpoint.elapsed_seconds
 
     def test_jsonl_stream_is_well_formed(self, tmp_path):
         path = tmp_path / "events.jsonl"

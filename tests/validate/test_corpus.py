@@ -1,0 +1,58 @@
+"""The checked-in fuzz corpus: replay entries, audit the manifest.
+
+``tests/validate/corpus/`` is the durable output of the differential
+fuzz campaigns (``python -m repro fuzz --corpus tests/validate/corpus``):
+one JSON repro seed per divergence ever found, plus the campaign
+manifest recording how much fuzzing the corpus represents.  Divergence
+entries are checked in together with their fixes, so replaying each one
+must come back clean -- a reproducing entry means a fixed bug regressed.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.validate.fuzz import replay_corpus_entry
+
+CORPUS = Path(__file__).parent / "corpus"
+ENTRIES = sorted(CORPUS.glob("divergence-*.json"))
+
+
+@pytest.mark.parametrize(
+    "entry", ENTRIES or [None], ids=lambda p: p.name if p else "corpus-empty"
+)
+def test_corpus_entries_stay_fixed(entry):
+    if entry is None:
+        pytest.skip("no divergences in the corpus (campaigns all clean)")
+    assert replay_corpus_entry(entry) is None, (
+        f"{entry.name} reproduces again -- a fixed divergence regressed"
+    )
+
+
+@pytest.fixture(scope="module")
+def manifest():
+    return json.loads((CORPUS / "campaign-manifest.json").read_text())
+
+
+def test_every_corpus_entry_is_accounted_for(manifest):
+    recorded = {
+        divergence["corpus_entry"]
+        for run in manifest["runs"]
+        for divergence in run["divergences"]
+        if divergence["corpus_entry"]
+    }
+    assert recorded == {path.name for path in ENTRIES}
+
+
+def test_manifest_records_the_deep_campaigns(manifest):
+    """The 10x-budget sweep: 20k writes, several seeds, full grid."""
+    deep = [run for run in manifest["runs"] if run["writes"] >= 20_000]
+    assert len({run["seed"] for run in deep}) >= 3, "several seeds required"
+    for run in deep:
+        assert set(run["schemes"]) == {"ecp6", "safer32", "aegis17x31"}
+        assert {"baseline", "comp", "comp_w", "comp_wf"} <= set(run["systems"])
+        assert run["campaigns"] == len(run["systems"]) * len(run["schemes"])
+        assert run["skipped"] == 0
+        # No campaign stopped early (early stop = divergence or budget).
+        assert run["writes_run"] == run["campaigns"] * run["writes"]

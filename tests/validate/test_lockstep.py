@@ -65,6 +65,82 @@ class TestCleanLockstep:
         assert controller.fast.stats.deaths > 0
 
 
+def _batched_campaign(config, *, lines=24, banks=4, endurance=16.0, seed=3,
+                      writes=800, payload_seed=5, chunk_seed=9):
+    """Drive one lockstep campaign through write_batch; returns it.
+
+    Chunk sizes vary randomly from 1 to 32, so the campaign covers the
+    degenerate single-write batch, collision-induced flushes, and full
+    vectorized epochs.
+    """
+    controller = ValidatingController(
+        config, lines, endurance_mean=endurance, endurance_cov=0.2,
+        seed=seed, n_banks=banks,
+    )
+    palette = _PayloadPalette(np.random.default_rng(payload_seed), lines)
+    chunks = np.random.default_rng(chunk_seed)
+    issued = 0
+    while issued < writes:
+        size = min(int(chunks.integers(1, 33)), writes - issued)
+        controller.write_batch([palette.next_op() for _ in range(size)])
+        issued += size
+    controller.verify_state()
+    return controller
+
+
+class TestBatchedLockstep:
+    """The batched engine against the serial oracle (strongest check)."""
+
+    def test_batched_comp_wf_agrees_through_wearout(self):
+        config = get_system("comp_wf").configured(
+            correction_scheme="ecp6", start_gap_psi=23
+        )
+        controller = _batched_campaign(config)
+        stats = controller.fast.stats
+        assert stats.deaths > 0, "campaign too gentle to exercise death"
+        assert stats.window_slides > 0
+
+    def test_batched_safer_campaign_agrees(self):
+        config = get_system("comp_wf").configured(
+            correction_scheme="safer32", start_gap_psi=23
+        )
+        controller = _batched_campaign(config, writes=600)
+        assert controller.fast.stats.deaths > 0
+
+    def test_batched_results_equal_serial_lockstep(self):
+        config = get_system("comp_wf").configured(correction_scheme="ecp6")
+        serial = _campaign(config, writes=400)
+        batched = _batched_campaign(config, writes=400)
+        assert batched.ops == serial.ops  # identical stimulus...
+        assert (  # ... identical verdicts
+            batched.fast.stats == serial.fast.stats
+        )
+
+    def test_batched_oracle_catches_missed_wearout(self):
+        """A row kernel that never detects wear-out must be flushed out."""
+        from repro.pcm.bank import PCMBankArray
+
+        config = get_system("comp_wf").configured(correction_scheme="ecp6")
+        real_write_rows = PCMBankArray.write_rows
+
+        def blind_write_rows(self, rows, targets, masks=None):
+            # Mutation: inflate the endurance seen by the batched
+            # kernel, so batch-path writes never mark new faults while
+            # the serial oracle does.
+            saved = self.endurance
+            self.endurance = saved + np.uint64(1_000)
+            try:
+                return real_write_rows(self, rows, targets, masks)
+            finally:
+                self.endurance = saved
+
+        with pytest.MonkeyPatch.context() as patch:
+            patch.setattr(PCMBankArray, "write_rows", blind_write_rows)
+            with pytest.raises(DivergenceError) as excinfo:
+                _batched_campaign(config, writes=3000, endurance=12.0)
+        assert excinfo.value.recipe["ops"]
+
+
 class TestRecipes:
     def test_recipe_is_json_serializable_and_rebuildable(self):
         config = get_system("comp_wf").configured(correction_scheme="ecp6")
