@@ -11,6 +11,8 @@ Subcommands map to the paper's experiments:
 ``trace``       generate and save a synthetic write-back trace
 ``systems``     list registered ``SystemSpec``s and their stages
 ``fuzz``        differential fuzzing: fast pipeline vs reference oracle
+``serve``       sharded multi-process memory service driven end to end
+``workload``    fleet-shaped request streams (run in-process or save)
 ==============  =====================================================
 """
 
@@ -30,9 +32,10 @@ from .analysis import (
 )
 from .core import EVALUATED_SYSTEMS
 from .correction import PAPER_SCHEMES, make_scheme
-from .engine import list_systems, system_names
+from .engine import list_systems, resolve_config, system_names
 from .faultinjection import tolerable_faults
 from .perf import PerformanceModel
+from .service.workloads import SERVICE_WORKLOADS
 from .traces import WORKLOAD_ORDER, SyntheticWorkload, get_profile, save_trace
 
 
@@ -168,6 +171,71 @@ def build_parser() -> argparse.ArgumentParser:
                       help="skip ddmin shrinking of failing sequences")
     fuzz.add_argument("--replay", metavar="FILE", default=None,
                       help="re-run one corpus entry instead of fuzzing")
+    fuzz.add_argument("--shards", type=_positive_int, default=1,
+                      help="partition each campaign memory into K shards, "
+                      "run the lockstep oracle per shard, and assert the "
+                      "merged fleet view (default: 1 = unsharded)")
+
+    serve = subparsers.add_parser(
+        "serve", help="sharded multi-process PCM memory service"
+    )
+    serve.add_argument("--shards", type=_positive_int, default=4,
+                       help="shard worker processes (default: 4)")
+    serve.add_argument("--lines", type=_positive_int, default=256,
+                       help="global logical address-space size")
+    serve.add_argument("--system", default="comp_wf",
+                       choices=system_names(), metavar="SYSTEM",
+                       help="registered system every shard runs "
+                       "(default: comp_wf)")
+    serve.add_argument("--workload", default="memcached",
+                       choices=SERVICE_WORKLOADS, metavar="PROFILE",
+                       help="request-stream shape (default: memcached)")
+    serve.add_argument("--requests", type=_positive_int, default=20_000,
+                       help="write requests to drive through the fleet")
+    serve.add_argument("--batch", type=_positive_int, default=64,
+                       help="requests routed per submit round")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--endurance", type=float, default=100.0)
+    serve.add_argument("--cov", type=float, default=0.15)
+    serve.add_argument("--banks", type=_positive_int, default=8)
+    serve.add_argument("--telemetry-dir", metavar="DIR", default=None,
+                       help="write shard-<i>/events.jsonl streams and the "
+                       "aggregated fleet.jsonl under DIR")
+    serve.add_argument("--heartbeat-interval", type=_positive_int,
+                       default=1000, metavar="REQUESTS",
+                       help="requests between per-shard heartbeats")
+    serve.add_argument("--fleet-interval", type=_positive_int,
+                       default=1000, metavar="REQUESTS",
+                       help="routed requests between fleet heartbeats")
+    serve.add_argument("--retries", type=int, default=2,
+                       help="worker deaths absorbed per shard before the "
+                       "service fails (recovery is exact replay)")
+    serve.add_argument("--inline", action="store_true",
+                       help="run the fleet in-process (no worker processes; "
+                       "bit-identical results, handy for debugging)")
+    serve.add_argument("--json", action="store_true",
+                       help="print the final fleet result as JSON")
+
+    workload = subparsers.add_parser(
+        "workload", help="generate or run a fleet-shaped request stream"
+    )
+    workload.add_argument("profile", choices=SERVICE_WORKLOADS,
+                          help="request-stream shape")
+    workload.add_argument("--lines", type=_positive_int, default=256,
+                          help="global logical address-space size")
+    workload.add_argument("--requests", type=_positive_int, default=20_000)
+    workload.add_argument("--seed", type=int, default=0)
+    workload.add_argument("--out", metavar="FILE", default=None,
+                          help="save the stream as a binary trace (global "
+                          "addresses) instead of running it")
+    workload.add_argument("--shards", type=_positive_int, default=1,
+                          help="run through an in-process fleet of K shards "
+                          "and print the merged statistics")
+    workload.add_argument("--system", default="comp_wf",
+                          choices=system_names(), metavar="SYSTEM")
+    workload.add_argument("--endurance", type=float, default=100.0)
+    workload.add_argument("--cov", type=float, default=0.15)
+    workload.add_argument("--batch", type=_positive_int, default=64)
 
     return parser
 
@@ -359,6 +427,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         time_budget=args.time_budget,
         check_state_every=args.check_state_every,
         shrink=not args.no_shrink, progress=progress,
+        shards=args.shards,
     )
     ran = [c for c in report.campaigns if not c.skipped]
     print(f"\n{len(ran)} campaigns, {sum(c.writes_run for c in ran)} writes, "
@@ -369,6 +438,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             "seed": args.seed, "writes": args.writes,
             "lines": args.lines, "banks": args.banks,
             "endurance_mean": args.endurance, "endurance_cov": args.cov,
+            "shards": args.shards,
             "systems": list(args.systems or system_names()),
             "schemes": [normalize_scheme(s) for s in args.schemes],
         })
@@ -378,6 +448,106 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             print(f"\n== {campaign.system} / {campaign.scheme} ==")
             print(campaign.divergence)
         return 1
+    return 0
+
+
+def _print_fleet_summary(result) -> None:
+    """Human-readable fleet summary shared by ``serve`` and ``workload``."""
+    stats = result.stats
+    print(f"fleet: {result.shards} shard(s), {result.total_lines} lines, "
+          f"{result.requests_routed:,} requests routed, "
+          f"{result.recoveries} recover(ies)")
+    print(f"  stored={stats.stored_writes:,} "
+          f"(compressed={stats.compressed_writes:,}) "
+          f"lost={stats.lost_writes:,} deaths={stats.deaths} "
+          f"revivals={stats.revivals} dead={result.dead_fraction:.4f}")
+    for shard, (shard_stats, served) in enumerate(
+        zip(result.shard_stats, result.shard_writes)
+    ):
+        print(f"  shard {shard}: {served:,} requests, "
+              f"stored={shard_stats.stored_writes:,} "
+              f"lost={shard_stats.lost_writes:,} "
+              f"deaths={shard_stats.deaths}")
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Boot the sharded memory service and drive a workload through it."""
+    import json as json_module
+
+    from .service import MemoryService, ShardedController, run_workload
+
+    config = resolve_config(args.system)
+    if args.inline:
+        fleet = ShardedController(
+            config, args.lines, shards=args.shards,
+            endurance_mean=args.endurance, endurance_cov=args.cov,
+            seed=args.seed, n_banks=args.banks,
+        )
+        run_workload(fleet, args.workload, args.requests,
+                     batch=args.batch, seed=args.seed)
+        from .service.service import ServiceResult
+
+        result = ServiceResult(
+            shards=fleet.shards, total_lines=fleet.total_lines,
+            requests_routed=args.requests, recoveries=0,
+            dead_fraction=fleet.dead_fraction, stats=fleet.stats,
+            shard_stats=fleet.shard_stats(),
+            shard_writes=[c.stats.demand_writes for c in fleet.controllers],
+        )
+    else:
+        with MemoryService(
+            config, args.lines, shards=args.shards,
+            endurance_mean=args.endurance, endurance_cov=args.cov,
+            seed=args.seed, n_banks=args.banks,
+            telemetry_dir=args.telemetry_dir,
+            heartbeat_interval=args.heartbeat_interval,
+            fleet_interval=args.fleet_interval,
+            retries=args.retries,
+        ) as service:
+            run_workload(service, args.workload, args.requests,
+                         batch=args.batch, seed=args.seed)
+            result = service.stop()
+    if args.json:
+        print(json_module.dumps(result.to_dict(), indent=2))
+    else:
+        _print_fleet_summary(result)
+        if args.telemetry_dir:
+            print(f"telemetry: {args.telemetry_dir}/fleet.jsonl + "
+                  f"shard-<i>/events.jsonl")
+    return 0
+
+
+def cmd_workload(args: argparse.Namespace) -> int:
+    """Generate a fleet-shaped stream; save it or run it in-process."""
+    from .service import ShardedController, make_stream, run_workload
+
+    if args.out is not None:
+        from .traces.trace import Trace
+
+        stream = make_stream(args.profile, args.lines, args.seed)
+        trace = Trace(workload=stream.name, n_lines=args.lines)
+        trace.extend(stream.iter_requests(args.requests))
+        save_trace(trace, args.out)
+        print(f"wrote {len(trace)} {args.profile} requests over "
+              f"{args.lines} lines to {args.out}")
+        return 0
+    config = resolve_config(args.system)
+    fleet = ShardedController(
+        config, args.lines, shards=args.shards,
+        endurance_mean=args.endurance, endurance_cov=args.cov,
+        seed=args.seed,
+    )
+    run_workload(fleet, args.profile, args.requests,
+                 batch=args.batch, seed=args.seed)
+    from .service.service import ServiceResult
+
+    _print_fleet_summary(ServiceResult(
+        shards=fleet.shards, total_lines=fleet.total_lines,
+        requests_routed=args.requests, recoveries=0,
+        dead_fraction=fleet.dead_fraction, stats=fleet.stats,
+        shard_stats=fleet.shard_stats(),
+        shard_writes=[c.stats.demand_writes for c in fleet.controllers],
+    ))
     return 0
 
 
@@ -391,6 +561,8 @@ _COMMANDS = {
     "systems": cmd_systems,
     "report": cmd_report,
     "fuzz": cmd_fuzz,
+    "serve": cmd_serve,
+    "workload": cmd_workload,
 }
 
 

@@ -37,6 +37,7 @@ import numpy as np
 from ..compression import BestOfCompressor, CachingCompressor, CompressionResult
 from ..correction import make_scheme
 from ..correction.freep import FreePRemapper
+from ..engine.address_space import AddressRange
 from ..engine.context import ControllerStats, EngineState, WriteResult
 from ..engine.pipeline import WritePipeline
 from ..pcm import PCMBankArray, EnduranceModel, FaultMode
@@ -64,15 +65,29 @@ class CompressedPCMController:
         compressor: BestOfCompressor | None = None,
         cell_type: str = "slc",
         invariants: tuple = (),
+        address_range: AddressRange | None = None,
     ) -> None:
         if n_lines < 1:
             raise ValueError("need at least one logical line")
         if cell_type not in ("slc", "mlc"):
             raise ValueError(f"cell type must be 'slc' or 'mlc', got {cell_type!r}")
+        if address_range is not None and len(address_range) != n_lines:
+            raise ValueError(
+                f"address range of {len(address_range)} lines does not match "
+                f"n_lines={n_lines}"
+            )
         self.config = config
         self.n_lines = n_lines
         self.n_banks = n_banks
         self.cell_type = cell_type
+        #: The global slice of a sharded address space this controller
+        #: owns; ``None`` (the default) means it owns the whole space.
+        #: When set, the public API (:meth:`write`, :meth:`write_batch`,
+        #: :meth:`read`) accepts *global* line numbers and translates
+        #: them here -- the pipeline below runs entirely in local
+        #: coordinates, unchanged, which is what keeps a shard
+        #: bit-identical to an independent controller of the same size.
+        self.address_range = address_range
 
         if config.start_gap_regions > 1:
             start_gap = RegionStartGap(
@@ -105,7 +120,13 @@ class CompressedPCMController:
             config=config,
             scheme=make_scheme(config.correction_scheme),
             compressor=engine_compressor,
-            memory=array_cls(physical, endurance_model, rng, fault_mode),
+            memory=array_cls(
+                physical,
+                endurance_model,
+                rng,
+                fault_mode,
+                base_line=address_range.start if address_range else 0,
+            ),
             start_gap=start_gap,
             metadata=[LineMetadata() for _ in range(physical)],
             dead=np.zeros(physical, dtype=bool),
@@ -127,6 +148,7 @@ class CompressedPCMController:
                 else None
             ),
             remapper=remapper,
+            address_range=address_range,
         )
         # Debug-mode invariant checkers (repro.validate.invariants),
         # run by the pipeline after every write; empty by default.
@@ -186,9 +208,14 @@ class CompressedPCMController:
     # -- public API ------------------------------------------------------
 
     def write(self, logical: int, data: bytes) -> WriteResult:
-        """Handle one demand write-back from the LLC."""
+        """Handle one demand write-back from the LLC.
+
+        ``logical`` is a *global* line number when an address range is
+        set, a plain local one otherwise.
+        """
         if len(data) != LINE_BYTES:
             raise ValueError(f"write data must be {LINE_BYTES} bytes")
+        logical = self.engine.local_of(logical)
         remap = self.pipeline.remap
         movement = remap.on_demand_write(logical)
         if movement is not None:
@@ -237,6 +264,7 @@ class CompressedPCMController:
                 pending_rows.clear()
 
         for logical, data in requests:
+            logical = self.engine.local_of(logical)
             movement = remap.on_demand_write(logical)
             if movement is not None:
                 flush()
@@ -259,8 +287,12 @@ class CompressedPCMController:
         return self.engine.resolve(physical)
 
     def read(self, logical: int) -> bytes | None:
-        """Read one line back; None when the data was lost to a death."""
+        """Read one line back; None when the data was lost to a death.
+
+        Accepts a global line number when an address range is set.
+        """
         engine = self.engine
+        logical = engine.local_of(logical)
         physical = self.pipeline.remap.map_logical(logical)
         if engine.dead[physical]:
             return None

@@ -15,6 +15,7 @@ Three layers:
   out across processes with per-run seeded generators.
 """
 
+from .address_space import AddressRange, ShardMap, shard_seeds
 from .context import ControllerStats, EngineState, WriteContext, WriteResult
 from .pipeline import WritePipeline
 from .registry import (
@@ -43,6 +44,7 @@ from .sweep import (
     SweepTask,
     TaskFailure,
     quarantine_attempt,
+    quarantine_run_dir,
     run_task,
 )
 
@@ -50,6 +52,7 @@ __all__ = [
     "FAILURE_MODES",
     "PAPER_SYSTEMS",
     "SEED_MODES",
+    "AddressRange",
     "CompressStage",
     "ControllerStats",
     "CorrectionStage",
@@ -57,6 +60,7 @@ __all__ = [
     "PlacementStage",
     "ProgramStage",
     "RemapStage",
+    "ShardMap",
     "Stage",
     "SweepError",
     "SweepReport",
@@ -70,8 +74,10 @@ __all__ = [
     "get_system",
     "list_systems",
     "quarantine_attempt",
+    "quarantine_run_dir",
     "register_system",
     "resolve_config",
     "run_task",
+    "shard_seeds",
     "system_names",
 ]

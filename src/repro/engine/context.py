@@ -33,6 +33,7 @@ from ..core.window import LINE_BYTES
 from ..correction.base import CorrectionScheme
 from ..correction.freep import FreePRemapper
 from ..wearleveling import IntraLineWearLeveler
+from .address_space import AddressRange
 
 
 class WriteResult(NamedTuple):
@@ -107,6 +108,45 @@ class ControllerStats:
         """Writes that landed (compressed or raw) -- the derived total."""
         return self.compressed_writes + self.uncompressed_writes
 
+    # -- fleet aggregation ----------------------------------------------
+    #
+    # Every counter is an additive event count over disjoint write
+    # streams, so shard stats merge exactly: the fleet view of K shards
+    # is the field-wise sum of the shard views.  ``merge`` forms a
+    # commutative monoid with :meth:`identity` as its identity element
+    # (pinned by ``tests/engine/test_stats_merge.py``).
+
+    @classmethod
+    def identity(cls) -> "ControllerStats":
+        """The merge identity: a stats record with every counter zero."""
+        return cls()
+
+    def merge(self, other: "ControllerStats") -> "ControllerStats":
+        """The exact fleet aggregate of two disjoint shards' counters.
+
+        Returns a new record; neither operand is mutated.  Associative
+        and commutative, with :meth:`identity` as the identity element,
+        so any reduction order over shard stats yields the same fleet
+        view.
+        """
+        steps = dict(self.heuristic_steps)
+        for step, count in other.heuristic_steps.items():
+            steps[step] = steps.get(step, 0) + count
+        merged = ControllerStats(heuristic_steps=steps)
+        for name in self.__dataclass_fields__:
+            if name == "heuristic_steps":
+                continue
+            setattr(merged, name, getattr(self, name) + getattr(other, name))
+        return merged
+
+    @classmethod
+    def merge_all(cls, stats) -> "ControllerStats":
+        """Fold :meth:`merge` over any iterable of shard stats."""
+        merged = cls.identity()
+        for item in stats:
+            merged = merged.merge(item)
+        return merged
+
 
 @dataclass
 class EngineState:
@@ -130,10 +170,29 @@ class EngineState:
     #: Maintained count of True entries in ``dead`` -- kept in sync by
     #: RemapStage.mark_dead/revive so ``dead_fraction`` is O(1).
     dead_count: int = 0
+    #: The slice of the *global* logical address space this engine owns
+    #: (see :mod:`repro.engine.address_space`).  Every index inside the
+    #: engine -- metadata, bank rows, Start-Gap, stages -- is local to
+    #: ``[0, len(address_range))``; the range exists so a sharded
+    #: deployment can translate and label globally.  ``None`` means the
+    #: engine *is* the whole space (the historical single-bank setup).
+    address_range: AddressRange | None = None
 
     def bank_of(self, physical: int) -> int:
         """The bank a physical line belongs to (round-robin striping)."""
         return physical % self.n_banks
+
+    def global_of(self, local: int) -> int:
+        """A local logical line's global line number (identity unsharded)."""
+        if self.address_range is None:
+            return local
+        return self.address_range.to_global(local)
+
+    def local_of(self, line: int) -> int:
+        """A global logical line's local index (identity unsharded)."""
+        if self.address_range is None:
+            return line
+        return self.address_range.to_local(line)
 
     def resolve(self, physical: int) -> int:
         """Follow FREE-p remap pointers when the extension is enabled."""

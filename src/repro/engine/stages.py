@@ -198,7 +198,14 @@ class PlacementStage(Stage):
             if config.use_intra_wear_leveling
             else "pointer-stable windows"
         )
-        return f"placement: circular window fit/slide, {intra}"
+        return f"placement: circular window fit/slide, {intra}{self._slice()}"
+
+    def _slice(self) -> str:
+        """Shard-slice label when the engine owns a range (else empty)."""
+        rng = self.state.address_range
+        if rng is None:
+            return ""
+        return f", slice [{rng.start}, {rng.stop})"
 
 
 class ProgramStage(Stage):
@@ -328,9 +335,13 @@ class RemapStage(Stage):
     name = "remap"
 
     def map_logical(self, logical: int) -> int:
-        """Logical line -> physical line through Start-Gap + FREE-p."""
+        """Local logical line -> physical line through Start-Gap + FREE-p."""
         state = self.state
         return state.resolve(state.start_gap.map(logical))
+
+    def map_global(self, line: int) -> int:
+        """Global line number -> physical line (identity range unsharded)."""
+        return self.map_logical(self.state.local_of(line))
 
     def on_demand_write(self, logical: int):
         """Advance Start-Gap; returns a GapMovement when the gap moved."""
@@ -399,4 +410,6 @@ class RemapStage(Stage):
             if config.use_dead_block_revival
             else "no revival"
         )
-        return f"remap: {gap} (psi={config.start_gap_psi}), {revival}"
+        rng = self.state.address_range
+        shard = "" if rng is None else f", slice [{rng.start}, {rng.stop})"
+        return f"remap: {gap} (psi={config.start_gap_psi}), {revival}{shard}"

@@ -166,24 +166,19 @@ class SweepReport:
         }
 
 
-def quarantine_attempt(task: SweepTask, attempt: int) -> str | None:
-    """Preserve a crashed attempt's run artifacts before a retry.
+def quarantine_run_dir(run_dir: str | None, attempt: int) -> str | None:
+    """Move a crashed attempt's artifacts into ``attempt-<N>/``.
 
-    Retrying into a run directory that still holds the crashed
-    attempt's files is a correctness trap: with ``resume`` set the
-    retry would silently resume from the *failed* attempt's latest
-    checkpoint -- state that may be exactly what made it crash --
-    instead of starting clean, and its telemetry stream would be
-    appended onto the crashed one.  Everything the attempt left behind
-    (checkpoints, ``events.jsonl``) is moved into an
-    ``attempt-<N>/`` subdirectory: kept for post-mortems, invisible to
+    The directory-level primitive behind :func:`quarantine_attempt`,
+    shared with the memory service's shard-restart path
+    (:mod:`repro.service`): everything the attempt left in ``run_dir``
+    (checkpoints, ``events.jsonl``) is moved into an ``attempt-<N>/``
+    subdirectory -- kept for post-mortems, invisible to
     ``latest_checkpoint`` and to the retry's fresh JSONL stream.
 
     Returns the quarantine directory, or None when there was nothing
-    to move (checkpointing off, or the attempt died before creating
-    its run directory).
+    to move (no directory, or the attempt died before creating one).
     """
-    run_dir = task.run_dir
     if run_dir is None or not os.path.isdir(run_dir):
         return None
     entries = [
@@ -199,6 +194,20 @@ def quarantine_attempt(task: SweepTask, attempt: int) -> str | None:
             os.path.join(run_dir, name), os.path.join(quarantine, name)
         )
     return quarantine
+
+
+def quarantine_attempt(task: SweepTask, attempt: int) -> str | None:
+    """Preserve a crashed attempt's run artifacts before a retry.
+
+    Retrying into a run directory that still holds the crashed
+    attempt's files is a correctness trap: with ``resume`` set the
+    retry would silently resume from the *failed* attempt's latest
+    checkpoint -- state that may be exactly what made it crash --
+    instead of starting clean, and its telemetry stream would be
+    appended onto the crashed one.  See :func:`quarantine_run_dir` for
+    what moves where.
+    """
+    return quarantine_run_dir(task.run_dir, attempt)
 
 
 def run_task(task: SweepTask):

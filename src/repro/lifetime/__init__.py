@@ -12,6 +12,7 @@ from .results import (
     PAPER_TOTAL_LINES,
     LifetimeResult,
     lifetime_months,
+    merge_results,
     normalized_lifetime,
 )
 from .simulator import (
@@ -50,6 +51,7 @@ __all__ = [
     "latest_checkpoint",
     "lifetime_months",
     "list_checkpoints",
+    "merge_results",
     "normalized_against_baseline",
     "normalized_lifetime",
     "read_checkpoint",

@@ -45,6 +45,18 @@ class LifetimeResult:
     # cache -- a pure simulator speed knob -- is disabled).
     compression_cache_hits: int = 0
     compression_cache_misses: int = 0
+    # -- exact-merge extensions (sharded fleets) -------------------------
+    # The ratio fields above (dead_fraction, avg_faults_per_dead_block,
+    # compressed_write_fraction) cannot be combined across shards without
+    # their numerators and denominators, so those are carried explicitly.
+    # All default to 0 for records predating the service mode; `merge`
+    # falls back to write-weighted approximations when they are absent.
+    stored_writes: int = 0
+    compressed_writes: int = 0
+    capacity_lines: int = 0
+    dead_blocks: int = 0
+    death_fault_total: int = 0
+    death_fault_blocks: int = 0
 
     @property
     def compression_cache_hit_rate(self) -> float:
@@ -74,6 +86,98 @@ class LifetimeResult:
         if not self.writes_issued:
             return 0.0
         return self.write_energy_pj(energy) / self.writes_issued
+
+
+def merge_results(results) -> LifetimeResult:
+    """Exact fleet aggregate of per-shard :class:`LifetimeResult` records.
+
+    Shards of one service run are disjoint address slices of one fleet,
+    so every additive counter sums exactly, and the ratio fields are
+    recomputed from the summed numerators/denominators carried in the
+    exact-merge fields -- the merged record is what a single bookkeeper
+    watching all shards at once would have written down.  Requires at
+    least one record, all with the same system and endurance mean; a
+    single record merges to itself unchanged.  The merged ``failed``
+    flag applies the fleet-level criterion: every shard must have
+    reached its own failure threshold.
+    """
+    results = list(results)
+    if not results:
+        raise ValueError("cannot merge zero results")
+    if len(results) == 1:
+        return results[0]
+    systems = {r.system for r in results}
+    if len(systems) > 1:
+        raise ValueError(f"cannot merge results across systems: {sorted(systems)}")
+    means = {r.endurance_mean for r in results}
+    if len(means) > 1:
+        raise ValueError(
+            f"cannot merge results across endurance means: {sorted(means)}"
+        )
+    workloads = {r.workload for r in results}
+    workload = results[0].workload if len(workloads) == 1 else "fleet"
+
+    n_lines = sum(r.n_lines for r in results)
+    writes = sum(r.writes_issued for r in results)
+    stored = sum(r.stored_writes for r in results)
+    compressed = sum(r.compressed_writes for r in results)
+    capacity = sum(r.capacity_lines for r in results)
+    dead_blocks = sum(r.dead_blocks for r in results)
+    fault_total = sum(r.death_fault_total for r in results)
+    fault_blocks = sum(r.death_fault_blocks for r in results)
+
+    if capacity:
+        dead_fraction = dead_blocks / capacity
+    else:
+        # Pre-service records lack capacity_lines; weight by n_lines.
+        dead_fraction = (
+            sum(r.dead_fraction * r.n_lines for r in results) / n_lines
+        )
+    if fault_blocks:
+        avg_faults = fault_total / fault_blocks
+    else:
+        dead = [r for r in results if r.deaths]
+        avg_faults = (
+            sum(r.avg_faults_per_dead_block * r.deaths for r in dead)
+            / sum(r.deaths for r in dead)
+            if dead
+            else 0.0
+        )
+    if stored:
+        compressed_fraction = compressed / stored
+    else:
+        compressed_fraction = (
+            sum(r.compressed_write_fraction * r.writes_issued for r in results)
+            / writes
+            if writes
+            else 0.0
+        )
+
+    return LifetimeResult(
+        system=results[0].system,
+        workload=workload,
+        n_lines=n_lines,
+        endurance_mean=results[0].endurance_mean,
+        writes_issued=writes,
+        failed=all(r.failed for r in results),
+        dead_fraction=dead_fraction,
+        total_flips=sum(r.total_flips for r in results),
+        set_flips=sum(r.set_flips for r in results),
+        reset_flips=sum(r.reset_flips for r in results),
+        lost_writes=sum(r.lost_writes for r in results),
+        deaths=sum(r.deaths for r in results),
+        revivals=sum(r.revivals for r in results),
+        avg_faults_per_dead_block=avg_faults,
+        compressed_write_fraction=compressed_fraction,
+        compression_cache_hits=sum(r.compression_cache_hits for r in results),
+        compression_cache_misses=sum(r.compression_cache_misses for r in results),
+        stored_writes=stored,
+        compressed_writes=compressed,
+        capacity_lines=capacity,
+        dead_blocks=dead_blocks,
+        death_fault_total=fault_total,
+        death_fault_blocks=fault_blocks,
+    )
 
 
 def normalized_lifetime(result: LifetimeResult, baseline: LifetimeResult) -> float:

@@ -353,6 +353,12 @@ class LifetimeSimulator:
             ),
             compression_cache_hits=stats.compression_cache_hits,
             compression_cache_misses=stats.compression_cache_misses,
+            stored_writes=stored,
+            compressed_writes=stats.compressed_writes,
+            capacity_lines=controller.engine.capacity_lines,
+            dead_blocks=controller.engine.dead_count,
+            death_fault_total=sum(controller.death_fault_counts.values()),
+            death_fault_blocks=len(controller.death_fault_counts),
         )
         for observer in observers:
             observer.on_run_end(result)

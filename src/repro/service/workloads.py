@@ -1,0 +1,259 @@
+"""Fleet-scale request streams and the ``run_workload`` driver.
+
+The lifetime simulator replays SPEC-calibrated *single-DIMM* streams;
+the memory service simulates a datacenter tier, whose traffic has a
+different shape.  This module provides four address-pattern generators
+over the global (sharded) address space, all reusing the calibrated
+per-line value model of :class:`repro.traces.SyntheticWorkload` (so
+payload compressibility statistics stay faithful to the paper's
+analysis) while owning their own address streams:
+
+* ``monotonic`` -- a sequential sweep over the whole space: the
+  best-case even-wear pattern (log-structured flush, bulk load).
+* ``high-reuse`` -- a small hot set takes nearly all writes: the
+  worst-case wear-concentration pattern (in-place counters, locks).
+* ``memcached`` -- key-value SET traffic: Zipf-popular keys hashed over
+  the space, value payloads from a compressible mixed profile; the
+  canonical datacenter cache shape (skewed, scattered, no locality).
+* ``nginx`` -- web-server writes: an append-style access-log region
+  cycling sequentially plus Zipf-popular cached objects over the rest;
+  a two-population mix of streaming and reuse.
+
+:func:`run_workload` drives any of them through a service front end --
+the in-process :class:`~repro.service.sharded.ShardedController` or
+the multi-process :class:`~repro.service.service.MemoryService`, which
+share the ``write_batch``/``read`` surface -- in fixed-size batches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..traces import SyntheticWorkload, WriteBack
+from ..traces.workloads import get_profile
+
+#: Recognized service workload profiles.
+SERVICE_WORKLOADS = ("monotonic", "high-reuse", "memcached", "nginx")
+
+#: Value models behind each stream (calibrated SPEC profiles): mcf's
+#: mid-size mixed-compressibility lines stand in for structured
+#: key-value payloads, gcc's volatile wide-spectrum lines for web
+#: objects and log text.
+_VALUE_PROFILES = {
+    "monotonic": "mcf",
+    "high-reuse": "mcf",
+    "memcached": "mcf",
+    "nginx": "gcc",
+}
+
+
+class RequestStream:
+    """Base class: a deterministic global-address write-request stream."""
+
+    def __init__(self, name: str, total_lines: int, seed: int = 0) -> None:
+        if total_lines < 1:
+            raise ValueError("need at least one line")
+        self.name = name
+        self.total_lines = total_lines
+        self._rng = np.random.default_rng(seed)
+        self._values = SyntheticWorkload(
+            get_profile(_VALUE_PROFILES[name]), total_lines, rng=self._rng
+        )
+
+    def next_request(self) -> WriteBack:
+        """The next write request (global line + 64-byte payload)."""
+        return self._values.write_to(self._next_line())
+
+    def iter_requests(self, count: int):
+        """Yield ``count`` consecutive requests."""
+        for _ in range(count):
+            yield self.next_request()
+
+    def _next_line(self) -> int:
+        raise NotImplementedError
+
+
+class MonotonicStream(RequestStream):
+    """Sequential sweep over the whole space, wrapping around."""
+
+    def __init__(self, total_lines: int, seed: int = 0) -> None:
+        super().__init__("monotonic", total_lines, seed)
+        self._cursor = 0
+
+    def _next_line(self) -> int:
+        line = self._cursor
+        self._cursor = (self._cursor + 1) % self.total_lines
+        return line
+
+
+class HighReuseStream(RequestStream):
+    """A small hot set absorbs nearly all writes.
+
+    ``hot_fraction`` of the lines (scattered by a seeded permutation)
+    receive ``hot_share`` of the writes uniformly; the rest of the
+    stream scatters uniformly over the cold lines.
+    """
+
+    def __init__(
+        self,
+        total_lines: int,
+        seed: int = 0,
+        hot_fraction: float = 0.1,
+        hot_share: float = 0.9,
+    ) -> None:
+        super().__init__("high-reuse", total_lines, seed)
+        if not 0 < hot_fraction < 1 or not 0 < hot_share < 1:
+            raise ValueError("hot fraction/share must be in (0, 1)")
+        permutation = self._rng.permutation(total_lines)
+        hot = max(1, int(total_lines * hot_fraction))
+        self._hot = permutation[:hot]
+        self._cold = permutation[hot:]
+        self.hot_share = hot_share
+
+    def _next_line(self) -> int:
+        pool = (
+            self._hot
+            if (self._rng.random() < self.hot_share or not len(self._cold))
+            else self._cold
+        )
+        return int(pool[self._rng.integers(0, len(pool))])
+
+
+class MemcachedStream(RequestStream):
+    """Key-value SET traffic: Zipf-popular keys hashed over the space.
+
+    The key space is ``keys_per_line`` times the line count; each key's
+    popularity follows a Zipf(``alpha``) law and its storage line is a
+    seeded hash of the key, so hot keys scatter uniformly across shards
+    -- the standard consistent-hashing deployment.
+    """
+
+    def __init__(
+        self,
+        total_lines: int,
+        seed: int = 0,
+        alpha: float = 1.0,
+        keys_per_line: int = 4,
+    ) -> None:
+        super().__init__("memcached", total_lines, seed)
+        keys = total_lines * keys_per_line
+        ranks = np.arange(1, keys + 1, dtype=float)
+        probabilities = ranks ** (-alpha)
+        probabilities /= probabilities.sum()
+        self._cumulative = np.cumsum(probabilities)
+        # key -> line via a seeded random map (hash-ring stand-in).
+        self._key_lines = self._rng.integers(0, total_lines, size=keys)
+        self._buffer: list[int] = []
+
+    def _next_line(self) -> int:
+        if not self._buffer:
+            draws = np.searchsorted(self._cumulative, self._rng.random(1024))
+            draws = np.minimum(draws, len(self._key_lines) - 1)
+            self._buffer = self._key_lines[draws].tolist()
+        return int(self._buffer.pop())
+
+
+class NginxStream(RequestStream):
+    """Web-server writes: log appends plus Zipf-popular cached objects.
+
+    ``log_fraction`` of the space is an access-log region written
+    strictly sequentially (wrapping); each request is a log append with
+    probability ``log_share``, otherwise a cache-object write whose
+    address follows a Zipf law over the remaining lines.
+    """
+
+    def __init__(
+        self,
+        total_lines: int,
+        seed: int = 0,
+        log_fraction: float = 0.125,
+        log_share: float = 0.4,
+        alpha: float = 0.9,
+    ) -> None:
+        super().__init__("nginx", total_lines, seed)
+        if not 0 < log_fraction < 1 or not 0 <= log_share <= 1:
+            raise ValueError("log fraction must be in (0,1), share in [0,1]")
+        log_lines = max(1, int(total_lines * log_fraction))
+        permutation = self._rng.permutation(total_lines)
+        self._log = permutation[:log_lines]
+        self._objects = permutation[log_lines:]
+        if not len(self._objects):
+            raise ValueError("log region cannot cover the whole space")
+        self.log_share = log_share
+        self._log_cursor = 0
+        ranks = np.arange(1, len(self._objects) + 1, dtype=float)
+        probabilities = ranks ** (-alpha)
+        probabilities /= probabilities.sum()
+        self._cumulative = np.cumsum(probabilities)
+        self._buffer: list[int] = []
+
+    def _next_line(self) -> int:
+        if self._rng.random() < self.log_share:
+            line = int(self._log[self._log_cursor])
+            self._log_cursor = (self._log_cursor + 1) % len(self._log)
+            return line
+        if not self._buffer:
+            draws = np.searchsorted(self._cumulative, self._rng.random(1024))
+            draws = np.minimum(draws, len(self._objects) - 1)
+            self._buffer = self._objects[draws].tolist()
+        return int(self._buffer.pop())
+
+
+_STREAMS = {
+    "monotonic": MonotonicStream,
+    "high-reuse": HighReuseStream,
+    "memcached": MemcachedStream,
+    "nginx": NginxStream,
+}
+
+
+def make_stream(name: str, total_lines: int, seed: int = 0, **kwargs) -> RequestStream:
+    """Build a service request stream by profile name."""
+    try:
+        cls = _STREAMS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown service workload {name!r}; "
+            f"choose from {SERVICE_WORKLOADS}"
+        ) from None
+    return cls(total_lines, seed, **kwargs)
+
+
+def run_workload(
+    service,
+    stream: RequestStream | str,
+    requests: int,
+    batch: int = 64,
+    seed: int = 0,
+):
+    """Drive ``requests`` writes from a stream through a service front end.
+
+    ``service`` is anything with the service surface
+    (``submit``/``write_batch`` plus ``total_lines``) -- the
+    multi-process :class:`~repro.service.service.MemoryService` or the
+    in-process :class:`~repro.service.sharded.ShardedController`.  A
+    stream given by name is built over the service's address space with
+    ``seed``.  Returns the stream (so callers can inspect or continue
+    it); fleet statistics come from the service itself.
+    """
+    if requests < 0:
+        raise ValueError("request count cannot be negative")
+    if batch < 1:
+        raise ValueError("batch must be >= 1")
+    if isinstance(stream, str):
+        stream = make_stream(stream, service.total_lines, seed)
+    elif stream.total_lines != service.total_lines:
+        raise ValueError(
+            f"stream addresses {stream.total_lines} lines but the service "
+            f"has {service.total_lines}"
+        )
+    submit = getattr(service, "submit", None) or service.write_batch
+    remaining = requests
+    while remaining > 0:
+        size = min(batch, remaining)
+        submit([
+            (request.line, request.data)
+            for request in stream.iter_requests(size)
+        ])
+        remaining -= size
+    return stream

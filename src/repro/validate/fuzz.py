@@ -25,6 +25,8 @@ from pathlib import Path
 
 import numpy as np
 
+from ..engine.address_space import ShardMap, shard_seeds
+from ..engine.context import ControllerStats
 from ..engine.registry import get_system, system_names
 from ..pcm import FaultMode
 from .lockstep import DivergenceError, ValidatingController, replay_recipe
@@ -254,6 +256,31 @@ def replay_corpus_entry(path: str | Path) -> DivergenceError | None:
     return replay_recipe(recipe)
 
 
+def assert_fleet_view(shard_stats: list[ControllerStats]) -> ControllerStats:
+    """Check the merged fleet view of a sharded campaign; returns it.
+
+    Asserts the two structural properties the service relies on: the
+    merge is reduction-order independent (forward fold == reverse
+    fold), and the pipeline write-accounting invariant survives
+    aggregation (fleet ``demand + gap_move == stored + lost``).
+    """
+    merged = ControllerStats.merge_all(shard_stats)
+    reversed_merge = ControllerStats.merge_all(reversed(shard_stats))
+    if merged != reversed_merge:
+        raise AssertionError(
+            "fleet stats merge is order-dependent: "
+            f"forward={merged} reversed={reversed_merge}"
+        )
+    issued = merged.demand_writes + merged.gap_move_writes
+    settled = merged.stored_writes + merged.lost_writes
+    if issued != settled:
+        raise AssertionError(
+            "fleet write accounting broken: "
+            f"demand+gap={issued} != stored+lost={settled}"
+        )
+    return merged
+
+
 def run_fuzz(
     systems: tuple[str, ...] | None = None,
     schemes: tuple[str, ...] = DEFAULT_SCHEMES,
@@ -269,6 +296,7 @@ def run_fuzz(
     check_state_every: int = 64,
     shrink: bool = True,
     progress=None,
+    shards: int = 1,
 ) -> FuzzReport:
     """Differential campaigns over ``systems`` x ``schemes``.
 
@@ -281,11 +309,21 @@ def run_fuzz(
     ``time_budget`` (seconds) bounds the whole run: campaigns that
     would start after the budget is spent are marked ``skipped`` (for
     the nightly CI job; a skipped campaign is not a pass).
+
+    ``shards > 1`` partitions each campaign memory with a
+    :class:`~repro.engine.address_space.ShardMap` and runs one lockstep
+    oracle *per shard* over its routed sub-stream (the address stream
+    stays global, so routing itself is under test), then asserts the
+    merged fleet view via :func:`assert_fleet_view`.  ``shards=1`` is
+    exactly the historical unsharded campaign, seeds included.
     """
+    if shards < 1:
+        raise ValueError("need at least one shard")
     report = FuzzReport()
     started = time.monotonic()
     names = tuple(systems) if systems else system_names()
     schemes = tuple(normalize_scheme(scheme) for scheme in schemes)
+    shard_map = ShardMap(lines, shards)
 
     campaign_index = 0
     for system in names:
@@ -304,17 +342,27 @@ def run_fuzz(
             rng = np.random.default_rng(
                 np.random.SeedSequence([seed, campaign_index])
             )
-            controller = ValidatingController(
-                config, lines,
-                endurance_mean=endurance_mean, endurance_cov=endurance_cov,
-                seed=seed + campaign_index, n_banks=banks,
-                fault_mode=fault_mode, check_state_every=check_state_every,
-            )
+            # One lockstep oracle per shard; shard_seeds keeps a 1-shard
+            # campaign's seed (and thus its whole replay) unchanged.
+            controllers = [
+                ValidatingController(
+                    config, shard_map.lines_of(shard),
+                    endurance_mean=endurance_mean,
+                    endurance_cov=endurance_cov,
+                    seed=shard_seed, n_banks=banks,
+                    fault_mode=fault_mode,
+                    check_state_every=check_state_every,
+                )
+                for shard, shard_seed in enumerate(
+                    shard_seeds(seed + campaign_index, shards)
+                )
+            ]
             palette = _PayloadPalette(rng, lines)
             try:
                 for _ in range(writes):
                     logical, payload = palette.next_op()
-                    controller.write(logical, payload)
+                    shard, local = shard_map.to_local(logical)
+                    controllers[shard].write(local, payload)
                     campaign.writes_run += 1
                     if (
                         time_budget is not None
@@ -323,7 +371,11 @@ def run_fuzz(
                     ):
                         break
                 else:
-                    controller.verify_state()
+                    for controller in controllers:
+                        controller.verify_state()
+                    assert_fleet_view(
+                        [controller.fast.stats for controller in controllers]
+                    )
             except DivergenceError as error:
                 recipe, shrunk_error = (
                     shrink_recipe(error.recipe) if shrink else (error.recipe, error)

@@ -49,6 +49,70 @@ def test_trace_command(tmp_path, capsys):
     assert trace.workload == "milc"
 
 
+def test_workload_command_saves_a_trace(tmp_path, capsys):
+    path = tmp_path / "fleet.trace"
+    assert main(["workload", "memcached", "--lines", "32",
+                 "--requests", "80", "--out", str(path)]) == 0
+    assert "80 memcached requests" in capsys.readouterr().out
+    trace = load_trace(path)
+    assert len(trace) == 80
+    assert trace.workload == "memcached"
+    assert trace.n_lines == 32
+
+
+def test_workload_command_runs_in_process(capsys):
+    assert main(["workload", "nginx", "--lines", "32", "--requests", "150",
+                 "--shards", "2", "--endurance", "40"]) == 0
+    out = capsys.readouterr().out
+    assert "fleet: 2 shard(s), 32 lines" in out
+    assert "shard 1:" in out
+
+
+def test_serve_command_inline_json(capsys):
+    import json
+
+    assert main(["serve", "--inline", "--json", "--shards", "2",
+                 "--lines", "32", "--requests", "200",
+                 "--workload", "memcached", "--endurance", "40",
+                 "--banks", "4"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["shards"] == 2
+    assert payload["requests_routed"] == 200
+    assert payload["recoveries"] == 0
+    assert len(payload["shard_stats"]) == 2
+    assert payload["stats"]["demand_writes"] == 200
+
+
+def test_serve_command_multiprocess_with_telemetry(tmp_path, capsys):
+    telemetry = tmp_path / "svc"
+    assert main(["serve", "--shards", "2", "--lines", "32",
+                 "--requests", "200", "--workload", "high-reuse",
+                 "--endurance", "40", "--banks", "4",
+                 "--heartbeat-interval", "50", "--fleet-interval", "50",
+                 "--telemetry-dir", str(telemetry)]) == 0
+    out = capsys.readouterr().out
+    assert "fleet: 2 shard(s)" in out
+    assert "telemetry:" in out
+    assert (telemetry / "fleet.jsonl").exists()
+    assert (telemetry / "shard-0" / "events.jsonl").exists()
+    assert (telemetry / "shard-1" / "events.jsonl").exists()
+
+
+def test_serve_inline_matches_multiprocess(capsys):
+    import json
+
+    flags = ["--shards", "2", "--lines", "32", "--requests", "150",
+             "--workload", "memcached", "--endurance", "40",
+             "--banks", "4", "--seed", "3", "--json"]
+    assert main(["serve", "--inline", *flags]) == 0
+    inline = json.loads(capsys.readouterr().out)
+    assert main(["serve", *flags]) == 0
+    service = json.loads(capsys.readouterr().out)
+    assert inline["stats"] == service["stats"]
+    assert inline["shard_stats"] == service["shard_stats"]
+    assert inline["dead_fraction"] == service["dead_fraction"]
+
+
 def test_lifetime_command(capsys):
     assert main([
         "lifetime", "--workloads", "milc", "--lines", "32",

@@ -67,6 +67,13 @@ def test_cache_pressure_study():
     assert "WPKI" in out
 
 
+def test_service_demo():
+    out = run_example("service_demo.py", "--shards", "2",
+                      "--requests", "400")
+    assert "recovered exactly" in out
+    assert "shard_recovered: shard=1" in out
+
+
 @pytest.mark.slow
 def test_design_space_sweep():
     out = run_example("design_space_sweep.py", "--workload", "milc",

@@ -101,6 +101,65 @@ class TestDivergenceHandling:
         assert first.exists() and second.exists()
 
 
+class TestShardedFuzz:
+    def test_sharded_campaigns_run_clean(self):
+        report = run_fuzz(
+            systems=("comp_wf",), schemes=("ecp6", "safer32"), writes=300,
+            seed=3, lines=24, endurance_mean=16.0, shards=4,
+        )
+        assert all(campaign.ok for campaign in report.campaigns)
+        assert all(c.writes_run == 300 for c in report.campaigns)
+
+    def test_one_shard_is_the_historical_campaign(self):
+        kwargs = dict(systems=("comp_w",), schemes=("ecp6",), writes=200,
+                      seed=5, lines=12, endurance_mean=12.0)
+        implicit = run_fuzz(**kwargs)
+        explicit = run_fuzz(shards=1, **kwargs)
+        assert implicit.campaigns[0].ok and explicit.campaigns[0].ok
+        assert (
+            implicit.campaigns[0].writes_run
+            == explicit.campaigns[0].writes_run
+        )
+
+    def test_rejects_bad_shard_counts(self):
+        with pytest.raises(ValueError, match="at least one shard"):
+            run_fuzz(systems=("comp_wf",), schemes=("ecp6",), writes=10,
+                     lines=8, shards=0)
+        with pytest.raises(ValueError, match="shards"):
+            run_fuzz(systems=("comp_wf",), schemes=("ecp6",), writes=10,
+                     lines=8, shards=9)
+
+    def test_divergence_in_a_shard_yields_a_replayable_entry(
+        self, monkeypatch, tmp_path
+    ):
+        _mutated(monkeypatch)
+        report = run_fuzz(
+            systems=("comp_wf",), schemes=("ecp6",), writes=2500,
+            seed=0, lines=24, endurance_mean=10.0, corpus_dir=tmp_path,
+            shards=2, shrink=False,
+        )
+        (campaign,) = report.campaigns
+        assert campaign.divergence is not None
+        # The per-shard recipe is self-contained (shard-local lines,
+        # shard seed), so it replays without any shard map.
+        assert isinstance(replay_corpus_entry(campaign.corpus_path), DivergenceError)
+        monkeypatch.undo()
+        assert replay_corpus_entry(campaign.corpus_path) is None
+
+    def test_fleet_view_assertions_catch_broken_merges(self):
+        from repro.engine.context import ControllerStats
+        from repro.validate.fuzz import assert_fleet_view
+
+        good = ControllerStats(
+            demand_writes=10, gap_move_writes=2,
+            compressed_writes=11, uncompressed_writes=1,
+        )
+        assert_fleet_view([good, ControllerStats.identity()])
+        leaky = ControllerStats(demand_writes=10, compressed_writes=8)
+        with pytest.raises(AssertionError, match="write accounting"):
+            assert_fleet_view([leaky])
+
+
 class TestCli:
     def test_fuzz_subcommand_smoke(self, capsys):
         status = main([
@@ -139,3 +198,15 @@ class TestCli:
         status = main(["fuzz", "--replay", str(path)])
         capsys.readouterr()
         assert status == 0  # mutation reverted: the recipe is clean
+
+    def test_fuzz_shards_flag_recorded_in_manifest(self, tmp_path, capsys):
+        status = main([
+            "fuzz", "--systems", "comp_wf", "--schemes", "ecp6",
+            "--writes", "120", "--lines", "16", "--shards", "2",
+            "--corpus", str(tmp_path),
+        ])
+        capsys.readouterr()
+        assert status == 0
+        manifest = json.loads((tmp_path / "campaign-manifest.json").read_text())
+        (run,) = manifest["runs"]
+        assert run["shards"] == 2
