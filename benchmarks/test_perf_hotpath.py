@@ -67,9 +67,19 @@ REPLAY_WRITES = _env_int("REPRO_HOTPATH_WRITES", 8000)
 REPS = _env_int("REPRO_HOTPATH_REPS", 3)
 
 #: Batch width for the batched-engine end-to-end comparison (the
-#: acceptance point of the batched write path; see ``test_batched_
-#: throughput``).
-BATCH_SIZE = 32
+#: acceptance point of the out-of-order scheduler; see
+#: ``test_batched_throughput``).
+BATCH_SIZE = 128
+
+#: Blocking floor for ``test_batched_throughput``: the scheduler must
+#: sustain at least this many times the serial throughput at
+#: ``BATCH_SIZE`` on the bank-interleaved scenario.  Measured
+#: interleaved best-of-REPS in one process, so machine drift hits both
+#: sides; the dev-container headroom is ~4.6-5.0x.
+BATCH_SPEEDUP_GATE = 4.0
+
+#: Non-blocking batch-width sweep (see ``test_batch_size_sweep``).
+SWEEP_SIZES = (8, 32, 128)
 
 #: Recorded writes/sec on the development machine (best-of interleaved
 #: process pairs, full 8000-write replay).  "before" is the commit that
@@ -140,6 +150,13 @@ def _build_parallel_trace():
 
 
 def _replay_once(system: str, trace, batch: int = 1) -> float:
+    """One timed replay; returns writes/sec.
+
+    Batched replays align the failure-check cadence to the batch width
+    (``check_interval=max(64, batch)``) so epochs are not truncated
+    below the requested batch size -- the serial runs keep the
+    simulator default, which checks more often, not less.
+    """
     simulator = LifetimeSimulator(
         config=make_config(system, intra_counter_limit=64),
         source=trace,
@@ -148,8 +165,37 @@ def _replay_once(system: str, trace, batch: int = 1) -> float:
         seed=SIM_SEED,
     )
     start = time.perf_counter()
-    simulator.run(max_writes=REPLAY_WRITES, batch=batch)
+    simulator.run(
+        max_writes=REPLAY_WRITES, batch=batch,
+        check_interval=max(64, batch),
+    )
     return REPLAY_WRITES / (time.perf_counter() - start)
+
+
+def _replay_wave_stats(system: str, trace, batch: int) -> dict:
+    """One untimed batched replay; returns the scheduler telemetry."""
+    simulator = LifetimeSimulator(
+        config=make_config(system, intra_counter_limit=64),
+        source=trace,
+        n_lines=N_LINES,
+        endurance_mean=ENDURANCE_MEAN,
+        seed=SIM_SEED,
+    )
+    result = simulator.run(
+        max_writes=REPLAY_WRITES, batch=batch,
+        check_interval=max(64, batch),
+    )
+    stats = simulator.controller.stats
+    return {
+        "waves": result.batch_waves,
+        "wave_ops": result.batch_wave_ops,
+        "wave_width_max": result.batch_wave_width_max,
+        "wave_width_mean": round(result.batch_wave_width_mean, 2),
+        "collision_edges": stats.batch_collision_edges,
+        "barrier_gap_move": stats.barrier_gap_move,
+        "barrier_collision": stats.barrier_collision,
+        "barrier_ineligible_row": stats.barrier_ineligible_row,
+    }
 
 
 # -- end-to-end ---------------------------------------------------------
@@ -198,36 +244,40 @@ def test_end_to_end_writes_per_sec(report):
 
 
 def test_batched_throughput(report):
-    """Serial vs batched engine on the line-parallel replay.
+    """Serial vs out-of-order scheduler on the line-parallel replay.
 
-    BLOCKING: batched execution must never be slower than serial on
-    the scenario it exists for (the CI perf-smoke gate).  The recorded
-    full-scale numbers are the PR's acceptance point: >= 2x writes/sec
-    at batch=32.  Serial runs are measured first so both modes see the
-    same warmed process (compression, mask, and payload caches).
+    BLOCKING: at ``BATCH_SIZE`` (128) the scheduler must sustain at
+    least ``BATCH_SPEEDUP_GATE`` (4x) the serial throughput on the
+    scenario it exists for (the CI perf-smoke gate).  Serial and
+    batched reps are *interleaved* (a serial/batched pair per rep,
+    best-of kept per side) so machine drift hits both sides of the
+    ratio equally.  The per-system scheduler telemetry of one replay
+    rides along into the JSON so wave shapes stay reviewable next to
+    the numbers they explain.
     """
     trace = _build_parallel_trace()
     serial: dict[str, float] = {}
     batched: dict[str, float] = {}
+    waves: dict[str, dict] = {}
     for system in EVALUATED_SYSTEMS:
-        serial[system] = round(
-            max(_replay_once(system, trace) for _ in range(REPS)), 1
-        )
-    for system in EVALUATED_SYSTEMS:
-        batched[system] = round(
-            max(
-                _replay_once(system, trace, batch=BATCH_SIZE)
-                for _ in range(REPS)
-            ),
-            1,
-        )
+        best_serial = 0.0
+        best_batched = 0.0
+        for _ in range(REPS):
+            best_serial = max(best_serial, _replay_once(system, trace))
+            best_batched = max(
+                best_batched, _replay_once(system, trace, batch=BATCH_SIZE)
+            )
+        serial[system] = round(best_serial, 1)
+        batched[system] = round(best_batched, 1)
+        waves[system] = _replay_wave_stats(system, trace, BATCH_SIZE)
 
     lines = [
-        f"{'system':10}{'batch=1 w/s':>14}{'batch=32 w/s':>14}{'speedup':>9}"
+        f"{'system':10}{'batch=1 w/s':>14}"
+        f"{f'batch={BATCH_SIZE} w/s':>16}{'speedup':>9}"
     ]
     for system in EVALUATED_SYSTEMS:
         lines.append(
-            f"{system:10}{serial[system]:14.1f}{batched[system]:14.1f}"
+            f"{system:10}{serial[system]:14.1f}{batched[system]:16.1f}"
             f"{batched[system] / serial[system]:9.2f}"
         )
     report("BENCH_hotpath_batched", "\n".join(lines))
@@ -237,24 +287,79 @@ def test_batched_throughput(report):
             "batch_size": BATCH_SIZE,
             "replay_writes": REPLAY_WRITES,
             "reps": REPS,
+            "methodology": "interleaved serial/batched rep pairs, "
+            "best-of per side",
             "scenario": (
                 f"{TRACE_WORKLOAD} payload stream, bank-interleaved "
                 f"addresses (round-robin over {N_LINES} lines)"
             ),
+            "speedup_gate": BATCH_SPEEDUP_GATE,
             "serial_writes_per_sec": serial,
             "batched_writes_per_sec": batched,
             "speedup": {
                 s: round(batched[s] / serial[s], 2)
                 for s in EVALUATED_SYSTEMS
             },
+            "scheduler": waves,
         },
     )
 
     for system in EVALUATED_SYSTEMS:
-        assert batched[system] >= serial[system], (
-            f"{system}: batched replay ({batched[system]:.0f} w/s) slower "
-            f"than serial ({serial[system]:.0f} w/s)"
+        speedup = batched[system] / serial[system]
+        assert speedup >= BATCH_SPEEDUP_GATE, (
+            f"{system}: batched replay ({batched[system]:.0f} w/s) is only "
+            f"{speedup:.2f}x serial ({serial[system]:.0f} w/s); the "
+            f"scheduler gate requires {BATCH_SPEEDUP_GATE}x at "
+            f"batch={BATCH_SIZE}"
         )
+
+
+def test_batch_size_sweep(report):
+    """Batch-width scaling on the line-parallel replay (non-blocking).
+
+    One batched best-of-REPS measurement per width in ``SWEEP_SIZES``;
+    timing only, no assertion beyond "the replay ran" -- the blocking
+    comparison lives in :func:`test_batched_throughput`.
+    """
+    trace = _build_parallel_trace()
+    sweep: dict[str, dict[str, float]] = {
+        system: {} for system in EVALUATED_SYSTEMS
+    }
+    for size in SWEEP_SIZES:
+        for system in EVALUATED_SYSTEMS:
+            sweep[system][str(size)] = round(
+                max(
+                    _replay_once(system, trace, batch=size)
+                    for _ in range(REPS)
+                ),
+                1,
+            )
+
+    header = f"{'system':10}" + "".join(
+        f"{f'batch={size}':>14}" for size in SWEEP_SIZES
+    )
+    lines = [header]
+    for system in EVALUATED_SYSTEMS:
+        lines.append(
+            f"{system:10}" + "".join(
+                f"{sweep[system][str(size)]:14.1f}" for size in SWEEP_SIZES
+            )
+        )
+    report("BENCH_hotpath_batch_sweep", "\n".join(lines))
+    _merge_json(
+        "batch_sweep",
+        {
+            "sizes": list(SWEEP_SIZES),
+            "replay_writes": REPLAY_WRITES,
+            "reps": REPS,
+            "writes_per_sec": sweep,
+        },
+    )
+
+    assert all(
+        value > 0 for per_system in sweep.values()
+        for value in per_system.values()
+    )
 
 
 # -- microbenchmarks ----------------------------------------------------

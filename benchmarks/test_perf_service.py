@@ -123,8 +123,11 @@ def report():
 def test_fleet_writes_per_sec(report, shards):
     stream = _line_parallel_stream()
 
+    # Drive the reference with the same BATCH chunking the measured
+    # front ends see: the scheduler's wave telemetry depends on segment
+    # boundaries, and the bit-equality gate below includes it.
     reference = _fleet(shards)
-    reference.write_batch(stream)
+    _drive(reference, stream)
 
     best_inproc = min(_drive(_fleet(shards), stream) for _ in range(REPS))
     report["in_process"][str(shards)] = round(len(stream) / best_inproc, 1)

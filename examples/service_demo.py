@@ -46,20 +46,28 @@ def main() -> None:
         for r in make_stream("memcached", LINES, RUN["seed"])
         .iter_requests(args.requests)
     ]
+    # Chunk the reference replay exactly like the service submissions
+    # below: the batch scheduler's wave telemetry depends on segment
+    # boundaries, and the recovery check compares every stats field.
     fleet = ShardedController(comp_wf(), LINES, shards=args.shards, **RUN)
-    fleet.write_batch(stream)
-    solo_stats = []
-    for shard, (bucket, seed) in enumerate(zip(
-        shard_map.partition(stream), shard_map.shard_seeds(RUN["seed"])
-    )):
-        solo = ShardedController(
+    for start in range(0, len(stream), 64):
+        fleet.write_batch(stream[start:start + 64])
+    solos = [
+        ShardedController(
             comp_wf(), shard_map.lines_of(shard), shards=1,
             endurance_mean=RUN["endurance_mean"],
             endurance_cov=RUN["endurance_cov"], seed=seed,
             n_banks=RUN["n_banks"],
         )
-        solo.write_batch(bucket)
-        solo_stats.append(solo.stats)
+        for shard, seed in enumerate(shard_map.shard_seeds(RUN["seed"]))
+    ]
+    for start in range(0, len(stream), 64):
+        for shard, bucket in enumerate(
+            shard_map.partition(stream[start:start + 64])
+        ):
+            if bucket:
+                solos[shard].write_batch(bucket)
+    solo_stats = [solo.stats for solo in solos]
     assert solo_stats == fleet.shard_stats(), "sharding must be pure routing"
     print(f"   fleet == {args.shards} independent controllers: "
           f"{fleet.stats.stored_writes} stored, "

@@ -57,6 +57,7 @@ def run_workload_study(
     checkpoint_interval: int = 0,
     resume: bool = False,
     progress: bool = False,
+    batch: int = 1,
 ) -> WorkloadStudy:
     """One Figure 10 column group (all systems, one workload).
 
@@ -80,6 +81,7 @@ def run_workload_study(
         checkpoint_interval=checkpoint_interval,
         resume=resume,
         progress=progress,
+        batch=batch,
     )
     unfinished = [name for name, result in results.items() if not result.failed]
     if unfinished:

@@ -75,6 +75,10 @@ def build_parser() -> argparse.ArgumentParser:
     lifetime.add_argument("--workers", type=_positive_int, default=1,
                           help="worker processes for the (workload x system) "
                           "sweep (1 = serial; same results either way)")
+    lifetime.add_argument("--batch", type=_positive_int, default=1,
+                          help="write-backs per controller call; > 1 drains "
+                          "each run through the out-of-order batch scheduler "
+                          "(bit-identical results; requires --workers 1)")
     lifetime.add_argument("--profile", metavar="FILE", default=None,
                           help="dump a cProfile of the run to FILE and print "
                           "the top functions by cumulative time")
@@ -175,6 +179,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="partition each campaign memory into K shards, "
                       "run the lockstep oracle per shard, and assert the "
                       "merged fleet view (default: 1 = unsharded)")
+    fuzz.add_argument("--batch", type=_positive_int, default=1,
+                      help="group every K stream ops into one write_batch "
+                      "call per shard, driving the out-of-order scheduler "
+                      "under the oracle (default: 1 = serial writes)")
 
     serve = subparsers.add_parser(
         "serve", help="sharded multi-process PCM memory service"
@@ -265,6 +273,7 @@ def _run_lifetime(args: argparse.Namespace) -> None:
     print(f"{'workload':12}" + "".join(f"{s:>10}" for s in systems if s != "baseline")
           + f"{'base months':>13}{'WF months':>11}")
     cache_hits = cache_misses = 0
+    waves = wave_ops = widest_wave = 0
     for workload in args.workloads:
         study = run_workload_study(
             workload, systems=systems, n_lines=args.lines,
@@ -273,6 +282,7 @@ def _run_lifetime(args: argparse.Namespace) -> None:
             checkpoint_dir=args.checkpoint_dir,
             checkpoint_interval=args.checkpoint_interval or 0,
             resume=args.resume, progress=args.progress,
+            batch=args.batch,
         )
         row = f"{workload:12}"
         for system in systems:
@@ -285,10 +295,16 @@ def _run_lifetime(args: argparse.Namespace) -> None:
         for result in study.results.values():
             cache_hits += result.compression_cache_hits
             cache_misses += result.compression_cache_misses
+            waves += result.batch_waves
+            wave_ops += result.batch_wave_ops
+            widest_wave = max(widest_wave, result.batch_wave_width_max)
     lookups = cache_hits + cache_misses
     if lookups:
         print(f"compression cache: {cache_hits} hits / {cache_misses} misses "
               f"({cache_hits / lookups:.1%} hit rate)")
+    if waves:
+        print(f"batch scheduler: {wave_ops} writes in {waves} waves "
+              f"(mean width {wave_ops / waves:.1f}, max {widest_wave})")
 
 
 def _print_profile_summary(profiler, path: str, top: int = 20) -> None:
@@ -427,7 +443,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         time_budget=args.time_budget,
         check_state_every=args.check_state_every,
         shrink=not args.no_shrink, progress=progress,
-        shards=args.shards,
+        shards=args.shards, batch=args.batch,
     )
     ran = [c for c in report.campaigns if not c.skipped]
     print(f"\n{len(ran)} campaigns, {sum(c.writes_run for c in ran)} writes, "
@@ -438,7 +454,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             "seed": args.seed, "writes": args.writes,
             "lines": args.lines, "banks": args.banks,
             "endurance_mean": args.endurance, "endurance_cov": args.cov,
-            "shards": args.shards,
+            "shards": args.shards, "batch": args.batch,
             "systems": list(args.systems or system_names()),
             "schemes": [normalize_scheme(s) for s in args.schemes],
         })

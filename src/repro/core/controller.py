@@ -40,6 +40,7 @@ from ..correction.freep import FreePRemapper
 from ..engine.address_space import AddressRange
 from ..engine.context import ControllerStats, EngineState, WriteResult
 from ..engine.pipeline import WritePipeline
+from ..engine.scheduler import BatchScheduler
 from ..pcm import PCMBankArray, EnduranceModel, FaultMode
 from ..pcm.mlc import MLCBankArray
 from ..wearleveling import IntraLineWearLeveler, RegionStartGap, StartGap
@@ -154,6 +155,9 @@ class CompressedPCMController:
         # run by the pipeline after every write; empty by default.
         self.pipeline = WritePipeline(self.engine, invariants=invariants)
         self._shadow: dict[int, bytes] = {}
+        # Out-of-order batch scheduler (stateless between calls; shares
+        # the pipeline and the shadow store).
+        self.scheduler = BatchScheduler(self.pipeline, self._shadow)
 
     # -- engine state passthrough (historical public attributes) ---------
 
@@ -233,54 +237,58 @@ class CompressedPCMController:
 
         ``requests`` is a sequence of ``(logical, data)`` pairs, and the
         result list is bit-identical to issuing the same :meth:`write`
-        calls in order.  Two events partition the batch: a Start-Gap
-        move relocates a line through the serial path, and a repeated
-        write to one physical line must observe the earlier write's
-        effects (including a possible FREE-p retirement), so at each
-        such cut the pending batch is flushed through
-        :meth:`~repro.engine.pipeline.WritePipeline.step_batch` and the
-        colliding address re-resolved.  Unlike :meth:`write`, all
-        request payloads are validated up front, before any side
-        effects.
+        calls in order.  The stream flows through the out-of-order
+        :class:`~repro.engine.scheduler.BatchScheduler`, which
+        partitions it into maximal independent waves (same-row
+        collisions and Start-Gap relocations become per-row dependency
+        edges, not global flushes) and executes each wave through the
+        vectorized row kernel, committing results back in program
+        order.  Engine compositions the scheduler cannot prove
+        equivalent for (invariant checkers, MLC cells, probabilistic
+        fault modes) fall back to the serial :meth:`write` loop.
+        Unlike :meth:`write`, all request payloads are validated up
+        front, before any side effects.
         """
+        requests = list(requests)
         for _, data in requests:
             if len(data) != LINE_BYTES:
                 raise ValueError(f"write data must be {LINE_BYTES} bytes")
-        if self.pipeline.invariants:
-            # Invariant checkers assert per-write accounting (demand
-            # writes settle one at a time); batching stages it.
+        if len(requests) < 2 or not self.scheduler.supported():
             return [self.write(logical, data) for logical, data in requests]
-        pipeline = self.pipeline
-        remap = pipeline.remap
-        stats = self.engine.stats
-        results: list[WriteResult] = []
-        pending: list[tuple[int, bytes]] = []
-        pending_rows: set[int] = set()
+        return self.scheduler.run(requests)
 
-        def flush() -> None:
-            if pending:
-                results.extend(pipeline.step_batch(pending))
-                pending.clear()
-                pending_rows.clear()
+    def enable_bank_parallel(self, workers: int | None = None):
+        """Fan each scheduled wave's programming across a process pool.
 
-        for logical, data in requests:
-            logical = self.engine.local_of(logical)
-            movement = remap.on_demand_write(logical)
-            if movement is not None:
-                flush()
-                self._handle_gap_move(movement)
-            self._shadow[logical] = data
-            physical = remap.map_logical(logical)
-            stats.demand_writes += 1
-            if physical in pending_rows:
-                flush()
-                # The flushed batch wrote this same line, which may have
-                # retired it to a FREE-p spare; re-resolve the address.
-                physical = remap.map_logical(logical)
-            pending.append((physical, data))
-            pending_rows.add(physical)
-        flush()
-        return results
+        Moves the bank arrays into shared memory and forks ``workers``
+        processes (default: one per bank, capped at cores minus one)
+        that program disjoint per-bank row sets concurrently; see
+        :mod:`repro.engine.bank_parallel`.  Opt-in: the dispatch only
+        pays off for wide waves on multi-core hosts.  Requires an
+        engine composition the scheduler supports.  Returns the
+        executor; idempotent while one is active.
+        """
+        if self.scheduler.bank_parallel is not None:
+            return self.scheduler.bank_parallel
+        if not self.scheduler.supported():
+            raise ValueError(
+                "bank-parallel execution requires a schedulable engine "
+                "(SLC array, stuck-at faults, no invariant checkers)"
+            )
+        from ..engine.bank_parallel import BankParallelExecutor
+
+        executor = BankParallelExecutor(
+            self.engine.memory, self.n_banks, workers
+        )
+        self.scheduler.bank_parallel = executor
+        return executor
+
+    def disable_bank_parallel(self) -> None:
+        """Tear the process pool down and privatize the bank state."""
+        executor = self.scheduler.bank_parallel
+        if executor is not None:
+            self.scheduler.bank_parallel = None
+            executor.close()
 
     def _resolve(self, physical: int) -> int:
         """Follow FREE-p remap pointers when the extension is enabled."""

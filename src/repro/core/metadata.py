@@ -30,7 +30,7 @@ METADATA_BITS = START_POINTER_BITS + ENCODING_BITS + SC_BITS
 SC_MAX = (1 << SC_BITS) - 1
 
 
-@dataclass
+@dataclass(slots=True)
 class LineMetadata:
     """Mutable per-line metadata record."""
 

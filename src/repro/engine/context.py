@@ -98,10 +98,33 @@ class ControllerStats:
     # -- RemapStage (death / revival) ------------------------------------
     deaths: int = 0
     revivals: int = 0
+    # -- BatchScheduler (observability only) -----------------------------
+    #
+    # Pure scheduling telemetry: how the out-of-order batch scheduler
+    # partitioned request streams into waves and why it had to cut
+    # serial barriers.  These counters describe *how* writes were
+    # executed, never *what* was written, so they are excluded from
+    # bit-identity comparisons (see :data:`SCHEDULER_FIELDS`) -- a
+    # batched run and its serial replay agree on every other field
+    # while legitimately disagreeing here.
+    batch_waves: int = 0
+    batch_wave_ops: int = 0
+    batch_wave_width_max: int = 0
+    batch_collision_edges: int = 0
+    barrier_gap_move: int = 0
+    barrier_collision: int = 0
+    barrier_ineligible_row: int = 0
 
     def count_step(self, step: int) -> None:
         """Tally one Figure 8 step for the statistics."""
         self.heuristic_steps[step] = self.heuristic_steps.get(step, 0) + 1
+
+    @property
+    def batch_wave_width_mean(self) -> float:
+        """Mean scheduled ops per wave (0.0 before any batched write)."""
+        if not self.batch_waves:
+            return 0.0
+        return self.batch_wave_ops / self.batch_waves
 
     @property
     def stored_writes(self) -> int:
@@ -137,6 +160,12 @@ class ControllerStats:
             if name == "heuristic_steps":
                 continue
             setattr(merged, name, getattr(self, name) + getattr(other, name))
+        # The one non-additive counter: the widest wave any shard saw.
+        # max() is associative/commutative with identity 0, so the
+        # monoid laws the other fields satisfy still hold.
+        merged.batch_wave_width_max = max(
+            self.batch_wave_width_max, other.batch_wave_width_max
+        )
         return merged
 
     @classmethod
@@ -146,6 +175,38 @@ class ControllerStats:
         for item in stats:
             merged = merged.merge(item)
         return merged
+
+    def without_scheduler_telemetry(self) -> "ControllerStats":
+        """A copy with the wave/barrier telemetry zeroed.
+
+        Bit-identity comparisons between differently-executed replays
+        of one stream (serial vs batched, or different chunkings) use
+        this view: the scheduler counters describe execution shape and
+        legitimately differ, every remaining counter must agree
+        exactly.  See :data:`SCHEDULER_FIELDS`.
+        """
+        clone = self.merge(ControllerStats())  # copies the steps dict too
+        for name in SCHEDULER_FIELDS:
+            setattr(clone, name, 0)
+        return clone
+
+
+#: The :class:`ControllerStats` fields that describe *how* the batch
+#: scheduler executed a stream rather than *what* was written.  A
+#: batched run is bit-identical to its serial replay on every counter
+#: except these (a serial loop has no waves or barriers), so
+#: equivalence tests and state fingerprints exclude them.
+SCHEDULER_FIELDS = frozenset(
+    {
+        "batch_waves",
+        "batch_wave_ops",
+        "batch_wave_width_max",
+        "batch_collision_edges",
+        "barrier_gap_move",
+        "barrier_collision",
+        "barrier_ineligible_row",
+    }
+)
 
 
 @dataclass

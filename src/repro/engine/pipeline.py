@@ -203,15 +203,53 @@ class WritePipeline:
                 results[index] = self._finish_serial(ctx)
 
         if fast:
-            batch_rows = np.array(
-                [ctx.physical for _, ctx, _ in fast], dtype=np.intp
+            targets, flips, new_faults = self.program_rows(
+                [(ctx, start) for _, ctx, start in fast]
             )
-            # Fancy indexing copies the stored rows: scratch to overlay
-            # each payload on (exactly place_bytes, row-wise).  Cells
-            # outside each window keep their stored value, so the
-            # differential write needs no update mask.
-            targets = memory.stored[batch_rows]
-            for j, (_, ctx, start) in enumerate(fast):
+            for j, (index, ctx, start) in enumerate(fast):
+                if new_faults is not None and new_faults[j]:
+                    ctx.line_faults += new_faults[j]
+                self.correction.commit(ctx.physical, ctx, start, targets[j])
+                results[index] = WriteResult(
+                    physical=ctx.physical, compressed=ctx.compressed,
+                    size_bytes=ctx.size, window_start=start,
+                    flips=flips[j], heuristic_step=ctx.step,
+                )
+        return results
+
+    def program_rows(
+        self,
+        entries: list[tuple[WriteContext, int]],
+        write_rows=None,
+    ) -> tuple[np.ndarray, list[int], list[int] | None]:
+        """Program K writes to *distinct* rows as one vectorized pass.
+
+        ``entries`` pairs each context (storage format already fixed)
+        with its placed window start.  Overlays every payload on a copy
+        of its stored row (exactly ``place_bytes``, row-wise; cells
+        outside each window keep their stored value, so the
+        differential write needs no update mask), issues a single
+        ``write_rows`` scatter, and accounts the flip counters.
+        Returns ``(targets, flips, worn)`` aligned with ``entries``;
+        ``worn`` is None when no cell wore out.  Shared by
+        :meth:`step_batch` and the out-of-order batch scheduler's wave
+        execution; ``write_rows`` overrides the bank kernel (the
+        bank-parallel executor passes its fan-out dispatch here).
+        """
+        state = self.state
+        memory = state.memory
+        rows = np.array([ctx.physical for ctx, _ in entries], dtype=np.intp)
+        if all(ctx.size == LINE_BYTES for ctx, _ in entries):
+            # Full-line wave (the uncompressed steady state): every row
+            # is fully overwritten, so stack the payloads directly and
+            # skip the stored-row gather (np.stack copies, so the
+            # cached read-only bit rows stay untouched).
+            targets = np.stack(
+                [_payload_bits(ctx.payload) for ctx, _ in entries]
+            )
+        else:
+            targets = memory.stored[rows]  # fancy indexing copies the rows
+            for j, (ctx, start) in enumerate(entries):
                 bits = _payload_bits(ctx.payload)
                 size = ctx.size
                 if size == LINE_BYTES:
@@ -223,26 +261,17 @@ class WritePipeline:
                     else:  # wrapping window
                         indices = _window_bit_indices(start, size, LINE_BYTES)
                         targets[j, indices] = bits
-            programmed, set_flips, worn = memory.write_rows(
-                batch_rows, targets
-            )
-            total = int(programmed.sum())
-            sets = int(set_flips.sum())
-            state.stats.total_flips += total
-            state.stats.set_flips += sets
-            state.stats.reset_flips += total - sets
-            flips = programmed.tolist()
-            new_faults = worn.tolist() if worn.any() else None
-            for j, (index, ctx, start) in enumerate(fast):
-                if new_faults is not None and new_faults[j]:
-                    ctx.line_faults += new_faults[j]
-                self.correction.commit(ctx.physical, ctx, start, targets[j])
-                results[index] = WriteResult(
-                    physical=ctx.physical, compressed=ctx.compressed,
-                    size_bytes=ctx.size, window_start=start,
-                    flips=flips[j], heuristic_step=ctx.step,
-                )
-        return results
+        kernel = write_rows if write_rows is not None else memory.write_rows
+        programmed, set_flips, worn = kernel(rows, targets)
+        total = int(programmed.sum())
+        sets = int(set_flips.sum())
+        stats = state.stats
+        stats.total_flips += total
+        stats.set_flips += sets
+        stats.reset_flips += total - sets
+        return targets, programmed.tolist(), (
+            worn.tolist() if worn.any() else None
+        )
 
     def _finish_serial(self, ctx: WriteContext) -> WriteResult:
         """Finish one batch row through the ordinary serial machinery.

@@ -94,6 +94,29 @@ class CompressStage(Stage):
                 self._apply_format(ctx, False, None, 0)
         self._mirror_cache_counters()
 
+    def apply_decision(self, ctx: WriteContext, result) -> None:
+        """Fix one context's format from a precomputed compression.
+
+        The out-of-order batch scheduler gathers the compressions of a
+        whole segment in one ``compress_batch`` call but must replay the
+        Figure 8 decisions strictly in *program* order, interleaved with
+        the metadata commits -- a collision successor's decision reads
+        the ``sc``/``stored_size`` its predecessor's commit just wrote,
+        so :meth:`run_batch` (which decides everything up front) cannot
+        serve it.  This is the per-op decision half, identical to what
+        :meth:`run` does after compressing.  ``result`` is ``None`` when
+        compression is off.
+        """
+        if result is None:
+            self._apply_format(ctx, False, None, 0)
+            return
+        meta = self.state.metadata[ctx.physical]
+        self._apply_format(ctx, *self._decide(meta, result))
+
+    def mirror_cache_counters(self) -> None:
+        """Publish the compression-cache counters into the stats."""
+        self._mirror_cache_counters()
+
     def _apply_format(self, ctx: WriteContext, compressed, result, step) -> None:
         ctx.compressed = compressed
         ctx.result = result
@@ -268,6 +291,22 @@ class CorrectionStage(Stage):
         self, physical: int, ctx: WriteContext, start: int, target: np.ndarray
     ) -> None:
         """Update line metadata and repair state for a landed write."""
+        self.commit_metadata(physical, ctx, start)
+        self.commit_repairs(physical, ctx, start, target)
+
+    def commit_metadata(
+        self, physical: int, ctx: WriteContext, start: int
+    ) -> None:
+        """The metadata half of the commit: 13-bit line state + counters.
+
+        Split from :meth:`commit_repairs` for the out-of-order batch
+        scheduler, which must settle metadata in *program* order (a
+        later write to the same line reads ``stored_size``/``sc`` during
+        its own compression decision) while the repair refresh needs the
+        *post-write* fault state of an execution that happens later.
+        Nothing between the two halves reads the repair dict, so the
+        split is unobservable; the serial path calls both back to back.
+        """
         state = self.state
         meta = state.metadata[physical]
         new_pointer = start if ctx.compressed else 0
@@ -284,8 +323,21 @@ class CorrectionStage(Stage):
         meta.compressed = ctx.compressed
         meta.stored_size = ctx.size
         meta.encoding = new_encoding
-        # Refresh correction state: the scheme remembers the written
-        # value of every stuck cell inside the window.
+        if ctx.compressed:
+            state.stats.compressed_writes += 1
+        else:
+            state.stats.uncompressed_writes += 1
+
+    def commit_repairs(
+        self, physical: int, ctx: WriteContext, start: int, target: np.ndarray
+    ) -> None:
+        """The repair half of the commit: refresh the scheme's state.
+
+        ``ctx.line_faults`` must reflect the line's *post-write* stuck
+        count when this runs (the scheme remembers the written value of
+        every stuck cell inside the window).
+        """
+        state = self.state
         if ctx.line_faults:
             mask = window_mask(start, ctx.size)
             faulty = state.memory.faulty_mask(physical) & mask
@@ -295,10 +347,6 @@ class CorrectionStage(Stage):
             }
         elif state.repairs[physical]:
             state.repairs[physical] = {}
-        if ctx.compressed:
-            state.stats.compressed_writes += 1
-        else:
-            state.stats.uncompressed_writes += 1
 
     def try_remap(self, physical: int) -> int | None:
         """FREE-p: retire an unplaceable block to a spare line."""

@@ -45,6 +45,11 @@ class LifetimeResult:
     # cache -- a pure simulator speed knob -- is disabled).
     compression_cache_hits: int = 0
     compression_cache_misses: int = 0
+    # Out-of-order batch-scheduler telemetry (all 0 for batch=1 runs,
+    # which never enter the scheduler).
+    batch_waves: int = 0
+    batch_wave_ops: int = 0
+    batch_wave_width_max: int = 0
     # -- exact-merge extensions (sharded fleets) -------------------------
     # The ratio fields above (dead_fraction, avg_faults_per_dead_block,
     # compressed_write_fraction) cannot be combined across shards without
@@ -65,6 +70,13 @@ class LifetimeResult:
         if not lookups:
             return 0.0
         return self.compression_cache_hits / lookups
+
+    @property
+    def batch_wave_width_mean(self) -> float:
+        """Mean scheduled ops per wave (0.0 when nothing was batched)."""
+        if not self.batch_waves:
+            return 0.0
+        return self.batch_wave_ops / self.batch_waves
 
     @property
     def writes_to_failure(self) -> int | None:
@@ -171,6 +183,11 @@ def merge_results(results) -> LifetimeResult:
         compressed_write_fraction=compressed_fraction,
         compression_cache_hits=sum(r.compression_cache_hits for r in results),
         compression_cache_misses=sum(r.compression_cache_misses for r in results),
+        batch_waves=sum(r.batch_waves for r in results),
+        batch_wave_ops=sum(r.batch_wave_ops for r in results),
+        # Same algebra as ControllerStats.merge: the fleet's widest wave
+        # is the max over shards, not a sum.
+        batch_wave_width_max=max(r.batch_wave_width_max for r in results),
         stored_writes=stored,
         compressed_writes=compressed,
         capacity_lines=capacity,

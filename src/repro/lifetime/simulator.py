@@ -210,10 +210,25 @@ class LifetimeSimulator:
                 remaining = interval - writes % interval
                 if remaining < size:
                     size = remaining
-        requests = []
-        for _ in range(size):
-            write_back = self._next_write()
-            requests.append((write_back.line, write_back.data))
+        source = self.source
+        if isinstance(source, Trace):
+            # Bulk cursor drain: same cycled stream _next_write yields,
+            # without the per-write call and cursor store.
+            writes_seq = source.writes
+            n = len(writes_seq)
+            cursor = self.trace_cursor
+            requests = [
+                (write_back.line, write_back.data)
+                for write_back in (
+                    writes_seq[(cursor + offset) % n] for offset in range(size)
+                )
+            ]
+            self.trace_cursor = (cursor + size) % n
+        else:
+            requests = []
+            for _ in range(size):
+                write_back = self._next_write()
+                requests.append((write_back.line, write_back.data))
         self.controller.write_batch(requests)
         return size
 
@@ -353,6 +368,9 @@ class LifetimeSimulator:
             ),
             compression_cache_hits=stats.compression_cache_hits,
             compression_cache_misses=stats.compression_cache_misses,
+            batch_waves=stats.batch_waves,
+            batch_wave_ops=stats.batch_wave_ops,
+            batch_wave_width_max=stats.batch_wave_width_max,
             stored_writes=stored,
             compressed_writes=stats.compressed_writes,
             capacity_lines=controller.engine.capacity_lines,

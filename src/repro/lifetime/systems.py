@@ -89,8 +89,15 @@ def run_system_comparison(
     checkpoint_interval: int = 0,
     resume: bool = False,
     progress: bool = False,
+    batch: int = 1,
 ) -> dict[str, LifetimeResult]:
     """Run every system on one workload (one Figure 10 column group).
+
+    ``batch > 1`` drains each run's write stream in batched epochs
+    through the out-of-order scheduler (bit-identical results; the
+    scheduler's wave telemetry lands in each
+    :class:`~repro.lifetime.results.LifetimeResult`).  Serial path
+    only: combine it with ``workers=1``.
 
     ``workers > 1`` fans the runs out across processes through
     :class:`~repro.engine.SweepRunner`; each run is seeded identically
@@ -107,6 +114,8 @@ def run_system_comparison(
     Checkpoints and heartbeats never change results.
     """
     if workers != 1:
+        if batch != 1:
+            raise ValueError("batch > 1 requires workers=1")
         from ..engine.sweep import SweepRunner
 
         runner = SweepRunner(
@@ -136,6 +145,8 @@ def run_system_comparison(
             seed=seed,
         )
         run_kwargs: dict = {"max_writes": max_writes}
+        if batch != 1:
+            run_kwargs["batch"] = batch
         observers: list = []
         if checkpoint_dir is not None:
             run_dir = Path(checkpoint_dir) / f"{workload}-{system}"

@@ -17,6 +17,65 @@ from .cell import FaultMode
 from .variation import EnduranceModel
 
 
+def write_rows_arrays(
+    stored_all: np.ndarray,
+    counts_all: np.ndarray,
+    endurance_all: np.ndarray,
+    faulty_all: np.ndarray,
+    fault_counts_all: np.ndarray,
+    row_writes_all: np.ndarray,
+    no_wear_limit_all: np.ndarray,
+    rows: np.ndarray,
+    targets: np.ndarray,
+    masks: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The :meth:`PCMBankArray.write_rows` kernel over bare arrays.
+
+    A module-level function so the bank-parallel executor's worker
+    processes can run it directly on shared-memory views of the bank
+    state (see :mod:`repro.engine.bank_parallel`) -- the method
+    delegates here.  ``STUCK_AT_LAST`` semantics; ``rows`` must be
+    distinct.  Touches only state belonging to ``rows``, so concurrent
+    calls over disjoint row sets are race-free.
+    """
+    row_writes = row_writes_all[rows] + 1
+    row_writes_all[rows] = row_writes
+    if (row_writes <= no_wear_limit_all[rows]).all():
+        # Wear-free rows (the common case until late life): no
+        # faulty cells exist and none can appear this write, so the
+        # fault mask, the endurance compare, and the worn scatter
+        # all drop out.
+        stored = stored_all[rows]
+        want = stored != targets
+        if masks is not None:
+            want &= masks
+            np.copyto(stored, targets, where=want)
+            stored_all[rows] = stored
+        else:
+            stored_all[rows] = targets
+        counts_all[rows] += want
+        programmed = want.sum(axis=1)
+        set_flips = (want & (targets != 0)).sum(axis=1)
+        return programmed, set_flips, np.zeros(len(rows), dtype=np.int64)
+    stored = stored_all[rows]
+    want = stored != targets
+    if masks is not None:
+        want &= masks
+    want &= ~faulty_all[rows]
+    new_counts = counts_all[rows] + want
+    worn = want & (new_counts >= endurance_all[rows])
+    np.copyto(stored, targets, where=want)
+    stored_all[rows] = stored
+    counts_all[rows] = new_counts
+    worn_per_row = worn.sum(axis=1)
+    if worn_per_row.any():
+        faulty_all[rows] |= worn
+        fault_counts_all[rows] += worn_per_row
+    programmed = want.sum(axis=1)
+    set_flips = (want & (targets != 0)).sum(axis=1)
+    return programmed, set_flips, worn_per_row
+
+
 class PCMBankArray:
     """Per-cell wear state for an array of 64-byte PCM lines."""
 
@@ -117,42 +176,11 @@ class PCMBankArray:
         """
         if self.fault_mode is not FaultMode.STUCK_AT_LAST:
             raise ValueError("write_rows supports STUCK_AT_LAST faults only")
-        row_writes = self.row_writes[rows] + 1
-        self.row_writes[rows] = row_writes
-        if (row_writes <= self.no_wear_limit[rows]).all():
-            # Wear-free rows (the common case until late life): no
-            # faulty cells exist and none can appear this write, so the
-            # fault mask, the endurance compare, and the worn scatter
-            # all drop out.
-            stored = self.stored[rows]
-            want = stored != targets
-            if masks is not None:
-                want &= masks
-                np.copyto(stored, targets, where=want)
-                self.stored[rows] = stored
-            else:
-                self.stored[rows] = targets
-            self.counts[rows] += want
-            programmed = want.sum(axis=1)
-            set_flips = (want & (targets != 0)).sum(axis=1)
-            return programmed, set_flips, np.zeros(len(rows), dtype=np.int64)
-        stored = self.stored[rows]
-        want = stored != targets
-        if masks is not None:
-            want &= masks
-        want &= ~self.faulty[rows]
-        new_counts = self.counts[rows] + want
-        worn = want & (new_counts >= self.endurance[rows])
-        np.copyto(stored, targets, where=want)
-        self.stored[rows] = stored
-        self.counts[rows] = new_counts
-        worn_per_row = worn.sum(axis=1)
-        if worn_per_row.any():
-            self.faulty[rows] |= worn
-            self.fault_counts[rows] += worn_per_row
-        programmed = want.sum(axis=1)
-        set_flips = (want & (targets != 0)).sum(axis=1)
-        return programmed, set_flips, worn_per_row
+        return write_rows_arrays(
+            self.stored, self.counts, self.endurance, self.faulty,
+            self.fault_counts, self.row_writes, self.no_wear_limit,
+            rows, targets, masks,
+        )
 
     def read_bits(self, block_index: int) -> np.ndarray:
         """The line's current cell values (0/1 array)."""

@@ -198,12 +198,19 @@ def shard_worker(spec: ShardSpec, requests: mp.Queue, replies: mp.Queue) -> None
                         "dead_fraction": controller.dead_fraction,
                         "stored_writes": controller.stats.stored_writes,
                         "lost_writes": controller.stats.lost_writes,
+                        "batch_waves": controller.stats.batch_waves,
+                        "batch_wave_width_mean":
+                            controller.stats.batch_wave_width_mean,
                     })
                 last_beat = served
                 replies.put(("applied", spec.index, served, {
                     "dead_blocks": controller.engine.dead_count,
                     "capacity_lines": controller.engine.capacity_lines,
                     "lost_writes": controller.stats.lost_writes,
+                    "batch_waves": controller.stats.batch_waves,
+                    "batch_wave_ops": controller.stats.batch_wave_ops,
+                    "batch_wave_width_max":
+                        controller.stats.batch_wave_width_max,
                 }))
             elif kind == "read":
                 replies.put(("data", spec.index, controller.read(command[1])))
@@ -515,6 +522,18 @@ class MemoryService:
             "shard_requests": list(self._served),
             "dead_fraction": dead / capacity if capacity else 0.0,
             "lost_writes": sum(h["lost_writes"] for h in self._shard_health),
+            # Scheduler telemetry merges like ControllerStats: waves and
+            # ops sum across shards, wave width takes the fleet max.
+            "batch_waves": sum(
+                h.get("batch_waves", 0) for h in self._shard_health
+            ),
+            "batch_wave_ops": sum(
+                h.get("batch_wave_ops", 0) for h in self._shard_health
+            ),
+            "batch_wave_width_max": max(
+                (h.get("batch_wave_width_max", 0)
+                 for h in self._shard_health), default=0,
+            ),
         })
 
     # -- failure handling ------------------------------------------------
@@ -572,6 +591,9 @@ class MemoryService:
             "dead_blocks": dead,
             "capacity_lines": capacity,
             "lost_writes": stats.lost_writes,
+            "batch_waves": stats.batch_waves,
+            "batch_wave_ops": stats.batch_wave_ops,
+            "batch_wave_width_max": stats.batch_wave_width_max,
         })
 
     def _ensure_alive(self, index: int) -> None:

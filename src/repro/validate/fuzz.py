@@ -297,6 +297,7 @@ def run_fuzz(
     shrink: bool = True,
     progress=None,
     shards: int = 1,
+    batch: int = 1,
 ) -> FuzzReport:
     """Differential campaigns over ``systems`` x ``schemes``.
 
@@ -316,9 +317,19 @@ def run_fuzz(
     stays global, so routing itself is under test), then asserts the
     merged fleet view via :func:`assert_fleet_view`.  ``shards=1`` is
     exactly the historical unsharded campaign, seeds included.
+
+    ``batch > 1`` groups every ``batch`` stream ops into one
+    ``write_batch`` call per shard (order preserved within each
+    shard), so the out-of-order scheduler's wave execution runs under
+    the lockstep oracle; the stream itself is identical to the
+    ``batch=1`` campaign.  Note a batch-only divergence need not
+    reproduce under the (serial) recipe replay used for shrinking --
+    in that case the unshrunk recipe is kept.
     """
     if shards < 1:
         raise ValueError("need at least one shard")
+    if batch < 1:
+        raise ValueError("batch must be positive")
     report = FuzzReport()
     started = time.monotonic()
     names = tuple(systems) if systems else system_names()
@@ -359,14 +370,25 @@ def run_fuzz(
             ]
             palette = _PayloadPalette(rng, lines)
             try:
-                for _ in range(writes):
-                    logical, payload = palette.next_op()
-                    shard, local = shard_map.to_local(logical)
-                    controllers[shard].write(local, payload)
-                    campaign.writes_run += 1
+                for _ in range(0, writes, batch):
+                    chunk = [
+                        palette.next_op()
+                        for _ in range(min(batch, writes - campaign.writes_run))
+                    ]
+                    if batch == 1:
+                        logical, payload = chunk[0]
+                        shard, local = shard_map.to_local(logical)
+                        controllers[shard].write(local, payload)
+                    else:
+                        for shard, bucket in enumerate(
+                            shard_map.partition(chunk)
+                        ):
+                            if bucket:
+                                controllers[shard].write_batch(bucket)
+                    campaign.writes_run += len(chunk)
                     if (
                         time_budget is not None
-                        and campaign.writes_run % 256 == 0
+                        and (batch > 1 or campaign.writes_run % 256 == 0)
                         and time.monotonic() - started > time_budget
                     ):
                         break
@@ -377,9 +399,15 @@ def run_fuzz(
                         [controller.fast.stats for controller in controllers]
                     )
             except DivergenceError as error:
-                recipe, shrunk_error = (
-                    shrink_recipe(error.recipe) if shrink else (error.recipe, error)
-                )
+                if shrink:
+                    try:
+                        recipe, shrunk_error = shrink_recipe(error.recipe)
+                    except ValueError:
+                        # Batch-only divergence: the serial replay used
+                        # for shrinking does not reproduce it.
+                        recipe, shrunk_error = error.recipe, error
+                else:
+                    recipe, shrunk_error = error.recipe, error
                 campaign.divergence = shrunk_error
                 if corpus_dir is not None:
                     campaign.corpus_path = write_corpus_entry(

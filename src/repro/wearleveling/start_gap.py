@@ -43,6 +43,21 @@ class GapMovement:
     source: int
     destination: int
 
+    @property
+    def perturbed_lines(self) -> tuple[int, int]:
+        """The two physical slots this move touches -- nothing else.
+
+        ``destination`` (the old gap) receives the relocated line's
+        content, a real write; ``source`` becomes the new gap, changing
+        only which logical line maps there.  Every other physical slot
+        keeps both its content and its mapping across the move, which
+        is what lets the out-of-order batch scheduler treat a gap move
+        as a per-row dependency instead of a global barrier: only
+        writes targeting one of these two slots (or issued to a logical
+        line whose mapping crosses them) need ordering against it.
+        """
+        return (self.source, self.destination)
+
 
 class StartGap:
     """Start-Gap remapper over ``n_lines`` logical lines."""

@@ -42,15 +42,25 @@ def _stream(count, seed=13, profile="memcached"):
     return [(r.line, r.data) for r in stream.iter_requests(count)]
 
 
-def _reference(stream, shards):
+def _reference(stream, shards, chunk=None):
+    """In-process fleet replaying the stream, ``chunk`` requests at a time.
+
+    ``chunk`` must match how the service under test submits: the batch
+    scheduler's wave telemetry depends on segment boundaries, and the
+    bit-equality gates below include it -- same chunking, same waves.
+    """
     fleet = ShardedController(comp_wf(), LINES, shards=shards, **SERVICE_KWARGS)
-    fleet.write_batch(stream)
+    if chunk is None:
+        fleet.write_batch(stream)
+    else:
+        for start in range(0, len(stream), chunk):
+            fleet.write_batch(stream[start:start + chunk])
     return fleet
 
 
 def test_service_matches_in_process_fleet(tmp_path):
     stream = _stream(600)
-    reference = _reference(stream, shards=3)
+    reference = _reference(stream, shards=3, chunk=64)
     with MemoryService(
         comp_wf(), LINES, shards=3, telemetry_dir=str(tmp_path),
         heartbeat_interval=100, fleet_interval=200, **SERVICE_KWARGS,
@@ -131,7 +141,7 @@ def _kill_and_wait(service, shard):
 
 def test_sigterm_kill_recovers_bit_identically(tmp_path):
     stream = _stream(800)
-    reference = _reference(stream, shards=4)
+    reference = _reference(stream, shards=4, chunk=50)
     victim = 2
     with MemoryService(
         comp_wf(), LINES, shards=4, telemetry_dir=str(tmp_path),
@@ -211,7 +221,7 @@ def test_workers_clear_window_caches_across_shard_restarts(tmp_path):
     from repro.core import window
 
     stream = _stream(200)
-    reference_stats = _reference(stream, shards=2).stats
+    reference_stats = _reference(stream, shards=2, chunk=100).stats
     window.clear_window_caches()
     with MemoryService(comp_wf(), LINES, shards=2, **SERVICE_KWARGS) as service:
         service.submit(stream[:100])

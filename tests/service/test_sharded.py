@@ -119,7 +119,9 @@ def test_serial_and_batched_routing_agree():
     for start in range(0, len(stream), 64):
         batched_results.extend(batched.write_batch(stream[start:start + 64]))
     assert serial_results == batched_results
-    assert serial.stats == batched.stats
+    # The batched fleet carries wave/barrier telemetry a serial replay
+    # cannot have; every behavioural counter must agree exactly.
+    assert serial.stats == batched.stats.without_scheduler_telemetry()
     assert all(serial.read(line) == batched.read(line) for line in range(lines))
 
 

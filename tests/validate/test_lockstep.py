@@ -112,8 +112,9 @@ class TestBatchedLockstep:
         serial = _campaign(config, writes=400)
         batched = _batched_campaign(config, writes=400)
         assert batched.ops == serial.ops  # identical stimulus...
-        assert (  # ... identical verdicts
-            batched.fast.stats == serial.fast.stats
+        assert (  # ... identical verdicts (modulo wave telemetry)
+            batched.fast.stats.without_scheduler_telemetry()
+            == serial.fast.stats.without_scheduler_telemetry()
         )
 
     def test_batched_oracle_catches_missed_wearout(self):
