@@ -47,6 +47,13 @@ RUN = dict(system="comp_wf", workload="milc", n_lines=24,
            endurance_mean=12.0, seed=3)
 BUDGET = 600_000
 CHECKPOINT_EVERY = 500
+#: Batched epochs exercise the out-of-order scheduler, so the
+#: equivalence check also pins that its observability counters
+#: (batch_waves / batch_wave_ops / batch_wave_width_max, all part of
+#: the compared LifetimeResult) survive the kill and resume.  The
+#: golden run must checkpoint at the same cadence: epochs are capped
+#: at cadence boundaries, so the cadence shapes the wave structure.
+BATCH = 8
 #: SIGTERM once a checkpoint at >= this write count exists on disk.
 KILL_AFTER_WRITES = 1_000
 DEADLINE_SECONDS = 240.0
@@ -60,6 +67,7 @@ def run_worker(checkpoint_dir: Path, result_path: Path, resume: bool) -> int:
     simulator = build_simulator(**RUN)
     result = simulator.run(
         max_writes=BUDGET,
+        batch=BATCH,
         checkpoint_dir=checkpoint_dir,
         checkpoint_interval=CHECKPOINT_EVERY,
         resume_from=resume_from,
@@ -105,12 +113,21 @@ def orchestrate(work_dir: Path) -> int:
     result_path = work_dir / "result.json"
 
     print(f"golden: uninterrupted in-process run of {RUN} ...")
-    golden = build_simulator(**RUN).run(max_writes=BUDGET)
+    golden = build_simulator(**RUN).run(
+        max_writes=BUDGET,
+        batch=BATCH,
+        checkpoint_dir=work_dir / "golden-checkpoints",
+        checkpoint_interval=CHECKPOINT_EVERY,
+    )
     if not golden.failed:
         print("golden run never failed; check the run parameters",
               file=sys.stderr)
         return 1
-    print(f"golden: failed after {golden.writes_issued} writes")
+    if golden.batch_waves <= 0:
+        print("golden run scheduled no waves; check BATCH", file=sys.stderr)
+        return 1
+    print(f"golden: failed after {golden.writes_issued} writes "
+          f"({golden.batch_waves} waves)")
 
     child = spawn_worker(checkpoint_dir, result_path, resume=False)
     try:

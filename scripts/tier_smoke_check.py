@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Hybrid DRAM-tier smoke check for CI.
+
+Gates the two properties the tier subsystem (:mod:`repro.tier`) must
+never lose, on a short memcached-shaped workload:
+
+1. **Bit-identity at capacity 0** -- a fleet built with ``tier_lines=0``
+   must be indistinguishable, stat for stat and line for line, from a
+   fleet built with no tier argument at all.  This is what keeps every
+   golden trace and fuzz corpus valid.
+2. **Conservation with the tier on** -- with a real DRAM capacity the
+   tier must (a) balance its write accounting
+   (``pcm_demand + absorbed - evictions == requests``), (b) answer
+   every read with the last written content, before *and* after a full
+   flush, and (c) never increase post-flush PCM write traffic.
+
+Usage::
+
+    python scripts/tier_smoke_check.py [--requests N] [--tier-lines K]
+
+Exit status 0 when every gate holds, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.config import comp_wf  # noqa: E402
+from repro.service import ShardedController, make_stream  # noqa: E402
+
+LINES = 96
+SHARDS = 2
+BATCH = 32
+SEED = 11
+ENDURANCE_MEAN = 2000.0
+WORKLOAD = "memcached"
+
+
+def build_fleet(tier_lines: int | None) -> ShardedController:
+    kwargs = {} if tier_lines is None else {"tier_lines": tier_lines}
+    return ShardedController(
+        comp_wf(), LINES, shards=SHARDS, endurance_mean=ENDURANCE_MEAN,
+        seed=SEED, n_banks=8, **kwargs,
+    )
+
+
+def drive(fleet: ShardedController, stream) -> None:
+    for start in range(0, len(stream), BATCH):
+        fleet.write_batch(stream[start:start + BATCH])
+
+
+def check(requests: int, tier_lines: int) -> int:
+    stream = [
+        (r.line, r.data)
+        for r in make_stream(WORKLOAD, LINES, SEED).iter_requests(requests)
+    ]
+    shadow = {line: data for line, data in stream}
+
+    print(f"replaying {requests} {WORKLOAD} requests over {LINES} lines "
+          f"x {SHARDS} shards ...")
+    bare = build_fleet(None)
+    drive(bare, stream)
+
+    # Gate 1: tier_lines=0 is the bare fleet, bit for bit.
+    zero = build_fleet(0)
+    drive(zero, stream)
+    if bare.stats != zero.stats:
+        print("FAIL: tier_lines=0 fleet stats differ from bare",
+              file=sys.stderr)
+        return 1
+    for line in range(LINES):
+        if bare.read(line) != zero.read(line):
+            print(f"FAIL: tier_lines=0 line {line} differs from bare",
+                  file=sys.stderr)
+            return 1
+    print("OK: tier_lines=0 is bit-identical to the bare fleet")
+
+    # Gate 2: conservation with a real capacity.
+    hybrid = build_fleet(tier_lines)
+    drive(hybrid, stream)
+    stats = hybrid.stats
+    balance = (
+        stats.demand_writes
+        + stats.tier_pcm_writes_avoided
+        - stats.tier_evictions
+    )
+    if balance != requests:
+        print(f"FAIL: accounting imbalance: {balance} != {requests}",
+              file=sys.stderr)
+        return 1
+    for line, expected in shadow.items():
+        if hybrid.read(line) != expected:
+            print(f"FAIL: pre-flush read of line {line} is stale",
+                  file=sys.stderr)
+            return 1
+    hybrid.flush_tiers()
+    for line, expected in shadow.items():
+        if hybrid.read(line) != expected:
+            print(f"FAIL: post-flush read of line {line} is stale",
+                  file=sys.stderr)
+            return 1
+    pcm_writes = hybrid.stats.demand_writes
+    if pcm_writes > requests:
+        print(f"FAIL: tier increased PCM traffic ({pcm_writes} > {requests})",
+              file=sys.stderr)
+        return 1
+    reduction = 1.0 - pcm_writes / requests
+    print(f"OK: tier_lines={tier_lines} conserved every write; "
+          f"PCM traffic {pcm_writes}/{requests} "
+          f"({reduction:.1%} reduction)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--requests", type=int, default=1500)
+    parser.add_argument("--tier-lines", type=int, default=8)
+    args = parser.parse_args(argv)
+    return check(args.requests, args.tier_lines)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -58,6 +58,7 @@ def run_workload_study(
     resume: bool = False,
     progress: bool = False,
     batch: int = 1,
+    tier_lines: int = 0,
 ) -> WorkloadStudy:
     """One Figure 10 column group (all systems, one workload).
 
@@ -66,7 +67,9 @@ def run_workload_study(
     durability knobs (``checkpoint_dir``, ``checkpoint_interval``,
     ``resume``, ``progress``) pass straight through to
     :func:`repro.lifetime.run_system_comparison`; none of them affect
-    the simulated results.
+    the simulated results.  ``tier_lines > 0`` fronts every system
+    with the content-aware DRAM tier (:mod:`repro.tier`; serial path
+    only) -- that one *does* change results, by design.
     """
     results = run_system_comparison(
         workload,
@@ -82,6 +85,7 @@ def run_workload_study(
         resume=resume,
         progress=progress,
         batch=batch,
+        tier_lines=tier_lines,
     )
     unfinished = [name for name, result in results.items() if not result.failed]
     if unfinished:

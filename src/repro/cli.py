@@ -46,6 +46,22 @@ def _positive_int(value: str) -> int:
     return parsed
 
 
+def _nonnegative_int(value: str) -> int:
+    parsed = int(value)
+    if parsed < 0:
+        raise argparse.ArgumentTypeError("must be >= 0")
+    return parsed
+
+
+def _add_tier_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--tier-lines", type=_nonnegative_int, default=0, metavar="LINES",
+        help="content-aware DRAM front-tier capacity in 64-byte lines "
+        "(repro.tier; default 0 = no tier, bit-identical to the bare "
+        "controller)",
+    )
+
+
 def _add_workloads_option(parser: argparse.ArgumentParser, default: list[str]) -> None:
     parser.add_argument(
         "--workloads", nargs="+", default=default,
@@ -97,6 +113,7 @@ def build_parser() -> argparse.ArgumentParser:
     lifetime.add_argument("--progress", action="store_true",
                           help="print per-run heartbeat progress lines to "
                           "stderr")
+    _add_tier_option(lifetime)
 
     montecarlo = subparsers.add_parser("montecarlo", help="Figure 9 crossings")
     montecarlo.add_argument("--sizes", nargs="+", type=int, default=[16, 32, 64])
@@ -183,6 +200,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="group every K stream ops into one write_batch "
                       "call per shard, driving the out-of-order scheduler "
                       "under the oracle (default: 1 = serial writes)")
+    fuzz.add_argument("--tier", dest="tier_lines", type=_nonnegative_int,
+                      default=0, metavar="LINES",
+                      help="front each lockstep pair with a DRAM tier of "
+                      "this capacity, validating the post-tier PCM stream "
+                      "(default: 0 = no tier)")
 
     serve = subparsers.add_parser(
         "serve", help="sharded multi-process PCM memory service"
@@ -223,6 +245,7 @@ def build_parser() -> argparse.ArgumentParser:
                        "bit-identical results, handy for debugging)")
     serve.add_argument("--json", action="store_true",
                        help="print the final fleet result as JSON")
+    _add_tier_option(serve)
 
     workload = subparsers.add_parser(
         "workload", help="generate or run a fleet-shaped request stream"
@@ -244,6 +267,7 @@ def build_parser() -> argparse.ArgumentParser:
     workload.add_argument("--endurance", type=float, default=100.0)
     workload.add_argument("--cov", type=float, default=0.15)
     workload.add_argument("--batch", type=_positive_int, default=64)
+    _add_tier_option(workload)
 
     return parser
 
@@ -282,7 +306,7 @@ def _run_lifetime(args: argparse.Namespace) -> None:
             checkpoint_dir=args.checkpoint_dir,
             checkpoint_interval=args.checkpoint_interval or 0,
             resume=args.resume, progress=args.progress,
-            batch=args.batch,
+            batch=args.batch, tier_lines=args.tier_lines,
         )
         row = f"{workload:12}"
         for system in systems:
@@ -444,6 +468,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         check_state_every=args.check_state_every,
         shrink=not args.no_shrink, progress=progress,
         shards=args.shards, batch=args.batch,
+        tier_lines=args.tier_lines,
     )
     ran = [c for c in report.campaigns if not c.skipped]
     print(f"\n{len(ran)} campaigns, {sum(c.writes_run for c in ran)} writes, "
@@ -455,6 +480,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             "lines": args.lines, "banks": args.banks,
             "endurance_mean": args.endurance, "endurance_cov": args.cov,
             "shards": args.shards, "batch": args.batch,
+            "tier_lines": args.tier_lines,
             "systems": list(args.systems or system_names()),
             "schemes": [normalize_scheme(s) for s in args.schemes],
         })
@@ -498,6 +524,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             config, args.lines, shards=args.shards,
             endurance_mean=args.endurance, endurance_cov=args.cov,
             seed=args.seed, n_banks=args.banks,
+            tier_lines=args.tier_lines,
         )
         run_workload(fleet, args.workload, args.requests,
                      batch=args.batch, seed=args.seed)
@@ -515,6 +542,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             config, args.lines, shards=args.shards,
             endurance_mean=args.endurance, endurance_cov=args.cov,
             seed=args.seed, n_banks=args.banks,
+            tier_lines=args.tier_lines,
             telemetry_dir=args.telemetry_dir,
             heartbeat_interval=args.heartbeat_interval,
             fleet_interval=args.fleet_interval,
@@ -551,7 +579,7 @@ def cmd_workload(args: argparse.Namespace) -> int:
     fleet = ShardedController(
         config, args.lines, shards=args.shards,
         endurance_mean=args.endurance, endurance_cov=args.cov,
-        seed=args.seed,
+        seed=args.seed, tier_lines=args.tier_lines,
     )
     run_workload(fleet, args.profile, args.requests,
                  batch=args.batch, seed=args.seed)

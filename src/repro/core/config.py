@@ -53,6 +53,11 @@ class SystemConfig:
     #: speed knob -- results are bit-for-bit identical either way.
     #: 0 disables the cache.
     compression_cache_lines: int = 1024
+    #: Hybrid extension: capacity of the content-aware DRAM front tier
+    #: (:mod:`repro.tier`) in 64-byte lines, charged per unique resident
+    #: content.  0 (the paper's setting) disables the tier entirely --
+    #: runs are then bit-identical to a bare controller.
+    tier_lines: int = 0
 
     def __post_init__(self) -> None:
         if self.threshold1 < 1 or self.threshold1 > 64:
@@ -69,6 +74,8 @@ class SystemConfig:
             raise ValueError("start_gap_regions must be positive")
         if self.compression_cache_lines < 0:
             raise ValueError("compression_cache_lines must be >= 0")
+        if self.tier_lines < 0:
+            raise ValueError("tier_lines must be >= 0")
         if not self.use_compression and (
             self.use_intra_wear_leveling or self.use_dead_block_revival
         ):

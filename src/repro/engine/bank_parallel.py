@@ -97,28 +97,39 @@ class BankParallelExecutor:
             1, min(n_banks, (os.cpu_count() or 1) - 1)
         )
         self._segments: list[shared_memory.SharedMemory] = []
-        spec = []
-        for attr in _STATE_ARRAYS:
-            source = getattr(memory, attr)
-            segment = shared_memory.SharedMemory(
-                create=True, size=source.nbytes
+        self._pool = None
+        try:
+            spec = []
+            for attr in _STATE_ARRAYS:
+                source = getattr(memory, attr)
+                segment = shared_memory.SharedMemory(
+                    create=True, size=source.nbytes
+                )
+                view = np.ndarray(
+                    source.shape, dtype=source.dtype, buffer=segment.buf
+                )
+                view[...] = source
+                setattr(memory, attr, view)
+                self._segments.append(segment)
+                spec.append((segment.name, source.shape, source.dtype))
+            # Fork-based pool: workers attach the segments by name in
+            # their initializer, so the parent's later array contents
+            # (not the fork-time snapshot) are always what they program.
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=get_context("fork"),
+                initializer=_attach_worker,
+                initargs=(spec,),
             )
-            view = np.ndarray(
-                source.shape, dtype=source.dtype, buffer=segment.buf
-            )
-            view[...] = source
-            setattr(memory, attr, view)
-            self._segments.append(segment)
-            spec.append((segment.name, source.shape, source.dtype))
-        # Fork-based pool: workers attach the segments by name in their
-        # initializer, so the parent's later array contents (not the
-        # fork-time snapshot) are always what they program.
-        self._pool = ProcessPoolExecutor(
-            max_workers=self.workers,
-            mp_context=get_context("fork"),
-            initializer=_attach_worker,
-            initargs=(spec,),
-        )
+        except BaseException:
+            # Partial construction must not leak OS-level segments (nor
+            # leave the bank pointing at soon-unlinked shared buffers);
+            # the construction failure outranks any teardown error.
+            try:
+                self.close()
+            except Exception:
+                pass
+            raise
 
     def write_rows(
         self, rows: np.ndarray, targets: np.ndarray
@@ -155,17 +166,36 @@ class BankParallelExecutor:
         return programmed, set_flips, worn
 
     def close(self) -> None:
-        """Tear down: privatize the state, free the shared segments."""
-        if self._pool is None:
-            return
-        self._pool.shutdown(wait=True)
-        self._pool = None
-        for attr in _STATE_ARRAYS:
-            setattr(self.memory, attr, np.array(getattr(self.memory, attr)))
-        for segment in self._segments:
-            segment.close()
-            segment.unlink()
-        self._segments = []
+        """Tear down: privatize the state, free the shared segments.
+
+        Idempotent and exception-safe: a failure while releasing one
+        segment never strands the others (every remaining segment is
+        still closed and unlinked, and the first error re-raised once
+        teardown finishes), and calling again after any outcome --
+        including a partially-failed ``__init__`` -- is a no-op.
+        """
+        pool, self._pool = self._pool, None
+        segments, self._segments = self._segments, []
+        error: BaseException | None = None
+        try:
+            if pool is not None:
+                pool.shutdown(wait=True)
+        finally:
+            # Privatize before unlinking: the bank must never be left
+            # referencing a shared buffer that is about to disappear.
+            for attr in _STATE_ARRAYS:
+                held = getattr(self.memory, attr)
+                if held.base is not None:
+                    setattr(self.memory, attr, np.array(held))
+            for segment in segments:
+                for release in (segment.close, segment.unlink):
+                    try:
+                        release()
+                    except BaseException as exc:
+                        if error is None:
+                            error = exc
+        if error is not None:
+            raise error
 
     def __enter__(self) -> "BankParallelExecutor":
         return self

@@ -114,6 +114,20 @@ class ControllerStats:
     barrier_gap_move: int = 0
     barrier_collision: int = 0
     barrier_ineligible_row: int = 0
+    # -- DramTier (hybrid DRAM front tier; repro.tier) --------------------
+    #
+    # Maintained by the tier's routing logic, never by the pipeline; all
+    # zero whenever no tier is configured, so they cannot perturb
+    # bit-identity of bare-controller runs.  ``tier_pcm_writes_avoided``
+    # counts demand writes the tier absorbed (coalesced or admitted);
+    # the *net* PCM demand-write reduction over a stream is that figure
+    # minus the eviction flushes (and any final drain), which the inner
+    # counters account as ordinary demand writes.
+    tier_hits: int = 0
+    tier_coalesced_writes: int = 0
+    tier_dedup_hits: int = 0
+    tier_evictions: int = 0
+    tier_pcm_writes_avoided: int = 0
 
     def count_step(self, step: int) -> None:
         """Tally one Figure 8 step for the statistics."""

@@ -196,3 +196,9 @@ register_system(SystemSpec(
     config=_config.comp_wf(name="comp_wf_regions", start_gap_regions=4),
     tags=("extension",),
 ))
+register_system(SystemSpec(
+    name="comp_wf_hybrid",
+    description="Comp+WF behind a 16-line content-aware DRAM tier (CARAM)",
+    config=_config.comp_wf(name="comp_wf_hybrid", tier_lines=16),
+    tags=("extension",),
+))

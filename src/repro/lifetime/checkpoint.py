@@ -31,8 +31,19 @@ import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 
-#: Bump when the pickled payload layout changes incompatibly.
-CHECKPOINT_VERSION = 1
+#: Bump when the pickled payload layout changes incompatibly.  Version
+#: history: 1 = original layout; 2 = adds ``tier_lines`` (the hybrid
+#: DRAM front tier's capacity -- the tier state itself rides inside the
+#: pickled controller) and pins that the controller pickle carries the
+#: complete ``ControllerStats``, scheduler telemetry included, so
+#: observability counters survive a resume instead of silently
+#: resetting.
+CHECKPOINT_VERSION = 2
+
+#: Versions :func:`read_checkpoint` accepts.  Version-1 checkpoints
+#: predate the tier knob; missing fields read back via ``getattr``
+#: defaults, so old snapshots resume as tier-less runs.
+SUPPORTED_VERSIONS = frozenset({1, 2})
 
 #: ``checkpoint-<writes, zero-padded>.pkl`` -- zero-padding keeps
 #: lexicographic and numeric order identical.
@@ -65,6 +76,12 @@ class Checkpoint:
     #: back with ``getattr``) so checkpoints pickled before the field
     #: existed still load, reporting 0.0.
     elapsed_seconds: float = 0.0
+    #: DRAM front-tier capacity (version >= 2).  Part of the experiment
+    #: identity -- a tiered run and a bare run of the same system are
+    #: different experiments -- so ``restore`` refuses a mismatch.
+    #: Defaulted (and read back with ``getattr``) so version-1
+    #: checkpoints load as the tier-less runs they were.
+    tier_lines: int = 0
 
 
 def checkpoint_path(directory: str | Path, writes_issued: int) -> Path:
@@ -115,10 +132,10 @@ def read_checkpoint(path: str | Path) -> Checkpoint:
         checkpoint = pickle.load(handle)
     if not isinstance(checkpoint, Checkpoint):
         raise ValueError(f"{path} is not a lifetime checkpoint")
-    if checkpoint.version != CHECKPOINT_VERSION:
+    if checkpoint.version not in SUPPORTED_VERSIONS:
         raise ValueError(
             f"checkpoint {path} has format version {checkpoint.version}; "
-            f"this build reads version {CHECKPOINT_VERSION}"
+            f"this build reads versions {sorted(SUPPORTED_VERSIONS)}"
         )
     return checkpoint
 

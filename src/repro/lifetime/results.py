@@ -142,8 +142,13 @@ def merge_results(results) -> LifetimeResult:
         dead_fraction = dead_blocks / capacity
     else:
         # Pre-service records lack capacity_lines; weight by n_lines.
+        # Every denominator can legitimately be zero (empty or
+        # early-killed shards reporting no lines/writes at all), so each
+        # weighted fallback degrades to a defined 0.0 rather than raising.
         dead_fraction = (
             sum(r.dead_fraction * r.n_lines for r in results) / n_lines
+            if n_lines
+            else 0.0
         )
     if fault_blocks:
         avg_faults = fault_total / fault_blocks

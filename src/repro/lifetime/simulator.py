@@ -26,6 +26,7 @@ import numpy as np
 
 from ..core import CompressedPCMController, SystemConfig
 from ..pcm import EnduranceModel, FaultMode
+from ..tier import HybridController
 from ..traces import SyntheticWorkload, Trace, WriteBack, WorkloadProfile
 from .checkpoint import (
     CHECKPOINT_VERSION,
@@ -100,6 +101,14 @@ class LifetimeSimulator:
             # observers, so enabling them never changes the result.
             invariants=invariants,
         )
+        if config.tier_lines:
+            # Hybrid extension: a content-aware DRAM front tier absorbs
+            # hot incompressible lines; the PCM controller only sees the
+            # post-tier write stream.  tier_lines=0 keeps the bare
+            # controller -- bit-identical to every pre-tier run.
+            self.controller = HybridController(
+                self.controller, config.tier_lines
+            )
         #: Writes issued so far (advanced by run(); restored on resume).
         self.writes_issued = 0
         #: Replay position within a Trace source (unused for generators).
@@ -152,6 +161,7 @@ class LifetimeSimulator:
             source=self.source,
             trace_cursor=self.trace_cursor,
             elapsed_seconds=self.elapsed_seconds,
+            tier_lines=self.config.tier_lines,
         )
         return write_checkpoint(checkpoint, directory, keep=keep)
 
@@ -166,17 +176,19 @@ class LifetimeSimulator:
             checkpoint = read_checkpoint(checkpoint)
         expected = (
             self.config.name, self.workload_name, self.n_lines,
-            self.dead_threshold,
+            self.dead_threshold, self.config.tier_lines,
         )
         found = (
             checkpoint.system, checkpoint.workload, checkpoint.n_lines,
             checkpoint.dead_threshold,
+            # getattr: version-1 checkpoints predate the tier knob.
+            getattr(checkpoint, "tier_lines", 0),
         )
         if expected != found:
             raise ValueError(
                 "checkpoint belongs to a different run: expected "
-                f"(system, workload, n_lines, dead_threshold)={expected}, "
-                f"checkpoint has {found}"
+                "(system, workload, n_lines, dead_threshold, tier_lines)="
+                f"{expected}, checkpoint has {found}"
             )
         self.controller = checkpoint.controller
         self.source = checkpoint.source

@@ -90,6 +90,7 @@ def run_system_comparison(
     resume: bool = False,
     progress: bool = False,
     batch: int = 1,
+    tier_lines: int = 0,
 ) -> dict[str, LifetimeResult]:
     """Run every system on one workload (one Figure 10 column group).
 
@@ -98,6 +99,10 @@ def run_system_comparison(
     scheduler's wave telemetry lands in each
     :class:`~repro.lifetime.results.LifetimeResult`).  Serial path
     only: combine it with ``workers=1``.
+
+    ``tier_lines > 0`` fronts every system with a content-aware DRAM
+    tier of that capacity (:mod:`repro.tier`) by overriding the
+    config's ``tier_lines`` knob; serial path only.
 
     ``workers > 1`` fans the runs out across processes through
     :class:`~repro.engine.SweepRunner`; each run is seeded identically
@@ -116,6 +121,8 @@ def run_system_comparison(
     if workers != 1:
         if batch != 1:
             raise ValueError("batch > 1 requires workers=1")
+        if tier_lines:
+            raise ValueError("tier_lines > 0 requires workers=1")
         from ..engine.sweep import SweepRunner
 
         runner = SweepRunner(
@@ -136,6 +143,7 @@ def run_system_comparison(
 
     results = {}
     for system in systems:
+        overrides: dict = {"tier_lines": tier_lines} if tier_lines else {}
         simulator = build_simulator(
             system,
             workload,
@@ -143,6 +151,7 @@ def run_system_comparison(
             endurance_mean=endurance_mean,
             endurance_cov=endurance_cov,
             seed=seed,
+            **overrides,
         )
         run_kwargs: dict = {"max_writes": max_writes}
         if batch != 1:

@@ -77,6 +77,10 @@ class ShardSpec:
     cell_type: str
     telemetry_dir: str | None
     heartbeat_interval: int
+    #: Per-shard DRAM front tier capacity (:mod:`repro.tier`); 0 runs
+    #: the bare controller.  Defaulted so specs pickled before the
+    #: hybrid tier existed still rebuild.
+    tier_lines: int = 0
 
 
 @dataclass(frozen=True)
@@ -145,7 +149,7 @@ def _build_controller(spec: ShardSpec):
     from ..engine.address_space import AddressRange
     from ..pcm import EnduranceModel
 
-    return CompressedPCMController(
+    controller = CompressedPCMController(
         config=spec.config,
         n_lines=spec.stop - spec.start,
         endurance_model=EnduranceModel(
@@ -157,6 +161,15 @@ def _build_controller(spec: ShardSpec):
         cell_type=spec.cell_type,
         address_range=AddressRange(spec.start, spec.stop),
     )
+    tier_lines = getattr(spec, "tier_lines", 0)
+    if tier_lines:
+        from ..tier import HybridController
+
+        # The tier is part of the spec, so a recovery respawn rebuilds
+        # it too and the history replay reconstructs its residents --
+        # exact recovery holds for hybrid shards unchanged.
+        controller = HybridController(controller, tier_lines)
+    return controller
 
 
 def shard_worker(spec: ShardSpec, requests: mp.Queue, replies: mp.Queue) -> None:
@@ -261,6 +274,9 @@ class MemoryService:
             :class:`ServiceError`.
         worker_timeout: Seconds without any reply from a live worker
             before it is declared hung and restarted.
+        tier_lines: Per-shard content-aware DRAM front tier capacity
+            (:mod:`repro.tier`); 0 (default) runs bare shards,
+            bit-identical to every pre-tier service run.
     """
 
     def __init__(
@@ -279,6 +295,7 @@ class MemoryService:
         fleet_interval: int = DEFAULT_SHARD_HEARTBEAT,
         retries: int = 2,
         worker_timeout: float = DEFAULT_WORKER_TIMEOUT,
+        tier_lines: int = 0,
     ) -> None:
         if heartbeat_interval < 1 or fleet_interval < 1:
             raise ValueError("heartbeat intervals must be >= 1")
@@ -305,6 +322,7 @@ class MemoryService:
                 cell_type=cell_type,
                 telemetry_dir=telemetry_dir,
                 heartbeat_interval=heartbeat_interval,
+                tier_lines=tier_lines,
             )
             for index, (shard_range, shard_seed) in enumerate(
                 zip(self.shard_map.ranges, seeds)

@@ -27,6 +27,7 @@ from ..core.controller import CompressedPCMController, WriteResult
 from ..engine.address_space import ShardMap
 from ..engine.context import ControllerStats
 from ..pcm import EnduranceModel, FaultMode
+from ..tier import HybridController
 
 
 class ShardedController:
@@ -43,6 +44,7 @@ class ShardedController:
         n_banks: int = 8,
         fault_mode: FaultMode = FaultMode.STUCK_AT_LAST,
         cell_type: str = "slc",
+        tier_lines: int = 0,
     ) -> None:
         self.config = config
         self.shard_map = ShardMap(total_lines, shards)
@@ -63,6 +65,15 @@ class ShardedController:
                 self.shard_map.ranges, self.shard_map.shard_seeds(seed)
             )
         ]
+        if tier_lines:
+            # Per-shard DRAM front tiers (the fleet shape a real
+            # deployment runs): each shard's tier sees only its own
+            # sub-stream, so fleet bit-identity to independent tiered
+            # controllers is preserved.  0 keeps the bare fleet.
+            self.controllers = [
+                HybridController(controller, tier_lines)
+                for controller in self.controllers
+            ]
 
     @property
     def shards(self) -> int:
@@ -106,6 +117,18 @@ class ShardedController:
     def read(self, line: int) -> bytes | None:
         """Read one global line back from its owning shard."""
         return self.controllers[self.shard_map.shard_of(line)].read(line)
+
+    def flush_tiers(self) -> int:
+        """Flush every shard's DRAM tier to PCM; returns lines flushed.
+
+        A no-op (returning 0) on a bare fleet, so callers can always
+        call it before comparing PCM-resident state.
+        """
+        return sum(
+            controller.flush()
+            for controller in self.controllers
+            if isinstance(controller, HybridController)
+        )
 
     # -- fleet views -----------------------------------------------------
 

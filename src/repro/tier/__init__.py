@@ -1,0 +1,348 @@
+"""Content-aware DRAM front tier over a PCM controller (CARAM-style).
+
+A production deployment fronts PCM with DRAM.  CARAM's observation is
+that the two media want *different* lines: compressible data is cheap
+for PCM (small windows, few programmed cells, easy correction), while
+incompressible data -- which is also statistically the hot, frequently
+rewritten data -- wears PCM hardest and gains nothing from the
+compression window.  The tier therefore routes by content:
+
+* **Write-through** -- a line whose compressibility probe (the same
+  best-of-FPC/BDI kernels the controller itself uses) lands at or
+  under the admission threshold goes straight to PCM.
+* **Admission** -- an incompressible line becomes DRAM-resident; the
+  PCM write is deferred until eviction, so re-writes of hot lines are
+  coalesced into (at most) one PCM write.
+* **Dedup** -- residents are reference-counted by content, and
+  capacity is charged per *unique* content, so identical lines extend
+  the tier's effective reach (each logical line still keeps its own
+  entry -- dedup can never alias two lines that later diverge).
+* **Eviction** -- when unique contents exceed capacity, least recently
+  used lines are flushed to PCM.  Flushes travel through the inner
+  controller's batched ``write_batch`` path together with the same
+  batch's write-throughs, so they ride the out-of-order wave scheduler.
+
+:class:`HybridController` is the facade: it exposes the
+``CompressedPCMController`` surface (``write``/``write_batch``/``read``
+plus the stats and death telemetry the simulator reads) and owns one
+:class:`DramTier`.  **Capacity 0 disables the tier entirely**: every
+call forwards verbatim to the inner controller, which keeps golden
+traces, fuzz corpora, and checkpoint digests bit-identical -- the
+safety rail the hybrid work hangs on.  Both classes pickle cleanly, so
+lifetime checkpoints carry the tier's residents, refcounts, and
+counters and resume bit-identically.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..compression import BestOfCompressor
+from ..core.window import LINE_BYTES
+from ..engine.context import ControllerStats, WriteResult
+
+__all__ = ["DEFAULT_ADMIT_THRESHOLD", "DramTier", "HybridController"]
+
+#: A line whose best-of-FPC/BDI probe compresses to at most this many
+#: bytes is "compressible": cheap to store in PCM, so it writes
+#: through.  Larger probe results mark the line incompressible/hot and
+#: it stays DRAM-resident, per CARAM's placement rule.
+DEFAULT_ADMIT_THRESHOLD = LINE_BYTES // 2
+
+#: Synthetic result for a write the DRAM tier absorbed: no PCM line was
+#: touched, so there is no physical target (-1) and no programmed cell.
+ABSORBED = WriteResult(
+    physical=-1, compressed=False, size_bytes=LINE_BYTES,
+    window_start=0, flips=0,
+)
+
+
+class DramTier:
+    """A bounded, deduplicating, content-aware DRAM line store.
+
+    Pure routing state -- the tier never touches PCM itself.  Its write
+    path classifies one request and either appends the PCM operations
+    it implies (the write-through, or any eviction flushes) to the
+    caller's op list, or absorbs the write entirely.  Capacity is
+    charged per unique resident content (dedup makes identical lines
+    free); eviction order is least-recently-used over lines, where
+    reads and coalesced writes both refresh recency.
+
+    Counters live on a :class:`ControllerStats` overlay that uses only
+    the ``tier_*`` fields, so a facade can merge it with the inner
+    controller's stats through the ordinary monoid.
+    """
+
+    def __init__(
+        self,
+        capacity_lines: int,
+        admit_threshold: int = DEFAULT_ADMIT_THRESHOLD,
+    ) -> None:
+        if capacity_lines < 0:
+            raise ValueError("tier capacity must be >= 0 lines")
+        if not 0 < admit_threshold <= LINE_BYTES:
+            raise ValueError(
+                f"admission threshold must be in (0, {LINE_BYTES}] bytes"
+            )
+        self.capacity_lines = capacity_lines
+        self.admit_threshold = admit_threshold
+        self._probe = BestOfCompressor()
+        #: line -> content, in LRU order (oldest first).
+        self._resident: OrderedDict[int, bytes] = OrderedDict()
+        #: content -> number of resident lines holding it.
+        self._refs: dict[bytes, int] = {}
+        self.stats = ControllerStats()
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+    @property
+    def unique_contents(self) -> int:
+        """Distinct resident contents -- what capacity is charged for."""
+        return len(self._refs)
+
+    def resident(self, line: int) -> bool:
+        return line in self._resident
+
+    # -- read path -------------------------------------------------------
+
+    def lookup(self, line: int) -> bytes | None:
+        """The resident content of a line (refreshing recency), or None."""
+        data = self._resident.get(line)
+        if data is not None:
+            self._resident.move_to_end(line)
+            self.stats.tier_hits += 1
+        return data
+
+    # -- write path ------------------------------------------------------
+
+    def write(
+        self,
+        line: int,
+        data: bytes,
+        pcm_ops: list[tuple[int, bytes]],
+    ) -> WriteResult | None:
+        """Route one write-back; absorbed or appended to ``pcm_ops``.
+
+        Returns :data:`ABSORBED` when the tier kept the write (the
+        caller owes PCM nothing for it now), or ``None`` after
+        appending exactly one write-through op for it to ``pcm_ops``.
+        Either way any eviction flushes the write forced are appended
+        too, in eviction order, so one inner ``write_batch`` call over
+        ``pcm_ops`` preserves the stream's PCM-visible ordering.
+        """
+        if self.capacity_lines == 0:
+            pcm_ops.append((line, data))
+            return None
+        data = bytes(data)
+        held = self._resident.get(line)
+        if held is not None:
+            # Coalesce: the pending PCM write this line owed is folded
+            # into the new content; only the eventual eviction pays.
+            self._release(held)
+            self._charge(data)
+            self._resident[line] = data
+            self._resident.move_to_end(line)
+            self.stats.tier_hits += 1
+            self.stats.tier_coalesced_writes += 1
+            self.stats.tier_pcm_writes_avoided += 1
+            self._evict_over_capacity(pcm_ops)
+            return ABSORBED
+        if self._probe.compress(data).size_bytes <= self.admit_threshold:
+            pcm_ops.append((line, data))
+            return None
+        if data in self._refs:
+            self.stats.tier_dedup_hits += 1
+        self._charge(data)
+        self._resident[line] = data
+        self.stats.tier_pcm_writes_avoided += 1
+        self._evict_over_capacity(pcm_ops)
+        return ABSORBED
+
+    def drain(self) -> list[tuple[int, bytes]]:
+        """Flush everything: all residents, oldest first, tier emptied."""
+        ops = list(self._resident.items())
+        self._resident.clear()
+        self._refs.clear()
+        return ops
+
+    # -- internals -------------------------------------------------------
+
+    def _charge(self, data: bytes) -> None:
+        self._refs[data] = self._refs.get(data, 0) + 1
+
+    def _release(self, data: bytes) -> None:
+        remaining = self._refs[data] - 1
+        if remaining:
+            self._refs[data] = remaining
+        else:
+            del self._refs[data]
+
+    def _evict_over_capacity(
+        self, pcm_ops: list[tuple[int, bytes]]
+    ) -> None:
+        while len(self._refs) > self.capacity_lines:
+            victim, data = self._resident.popitem(last=False)
+            self._release(data)
+            self.stats.tier_evictions += 1
+            pcm_ops.append((victim, data))
+
+
+class HybridController:
+    """A DRAM front tier in front of a PCM controller, one write surface.
+
+    Drop-in for :class:`~repro.core.CompressedPCMController` wherever
+    the simulator, the sharded service, or the differential-fuzz
+    harness drive one: writes route through the tier (which may absorb
+    them, write them through, or force eviction flushes), reads hit
+    DRAM first and fall through to PCM, and every PCM operation --
+    write-throughs and flushes alike -- flows through the inner
+    controller's ``write_batch`` so batched streams keep their wave
+    scheduling.  The oracle therefore validates the *post-tier* PCM
+    write stream: wrap a ``ValidatingController`` and the lockstep
+    comparison covers exactly what the tier lets reach the medium.
+
+    ``tier_lines=0`` forwards everything verbatim (bit-identical to the
+    bare inner controller).  Delegation is explicit -- no
+    ``__getattr__`` magic -- so pickling (checkpoints carry the whole
+    facade) and attribute errors stay predictable.
+    """
+
+    def __init__(
+        self,
+        inner,
+        tier_lines: int,
+        admit_threshold: int = DEFAULT_ADMIT_THRESHOLD,
+    ) -> None:
+        self.inner = inner
+        self.tier = DramTier(tier_lines, admit_threshold)
+
+    @property
+    def tier_lines(self) -> int:
+        return self.tier.capacity_lines
+
+    # -- write path ------------------------------------------------------
+
+    def write(self, logical: int, data: bytes) -> WriteResult:
+        """One demand write-back, routed through the tier."""
+        if self.tier.capacity_lines == 0:
+            return self.inner.write(logical, data)
+        if len(data) != LINE_BYTES:
+            raise ValueError(f"write data must be {LINE_BYTES} bytes")
+        pcm_ops: list[tuple[int, bytes]] = []
+        result = self.tier.write(logical, data, pcm_ops)
+        flushed = self.inner.write_batch(pcm_ops) if pcm_ops else []
+        if result is not None:
+            return result
+        # Write-through: the demand op is the first one appended (any
+        # eviction flushes would only follow an admission).
+        return flushed[0]
+
+    def write_batch(
+        self, requests: list[tuple[int, bytes]]
+    ) -> list[WriteResult]:
+        """A batch of write-backs; PCM ops ride one inner batch call.
+
+        The tier routes every request in stream order first, then the
+        surviving PCM operations (write-throughs interleaved with the
+        eviction flushes they forced) go to the inner controller as a
+        single ``write_batch`` -- so coalesced streams still reach the
+        out-of-order wave scheduler as one batch.  The result list is
+        aligned with ``requests``: absorbed writes report the
+        synthetic :data:`ABSORBED` outcome.
+        """
+        requests = list(requests)
+        if self.tier.capacity_lines == 0:
+            return self.inner.write_batch(requests)
+        for _, data in requests:
+            if len(data) != LINE_BYTES:
+                raise ValueError(f"write data must be {LINE_BYTES} bytes")
+        pcm_ops: list[tuple[int, bytes]] = []
+        routed: list[WriteResult | int] = []
+        for line, data in requests:
+            slot = len(pcm_ops)
+            result = self.tier.write(line, data, pcm_ops)
+            # A routed-to-PCM request's op sits at the pre-call length;
+            # absorbed requests carry their result directly.
+            routed.append(slot if result is None else result)
+        flushed = self.inner.write_batch(pcm_ops) if pcm_ops else []
+        return [
+            entry if isinstance(entry, WriteResult) else flushed[entry]
+            for entry in routed
+        ]
+
+    def flush(self) -> int:
+        """Flush every DRAM-resident line to PCM; returns lines flushed.
+
+        Used before state verification (the oracle compares PCM state,
+        so pending residents must land first) and by callers that want
+        PCM to hold the complete image, e.g. before decommissioning
+        the tier.
+        """
+        ops = self.tier.drain()
+        if ops:
+            self.inner.write_batch(ops)
+        return len(ops)
+
+    # -- read path -------------------------------------------------------
+
+    def read(self, logical: int) -> bytes | None:
+        """DRAM hit, else PCM read-through."""
+        data = self.tier.lookup(logical)
+        if data is not None:
+            return data
+        return self.inner.read(logical)
+
+    # -- passthroughs the simulator / service / fuzzer consume -----------
+
+    @property
+    def config(self):
+        return self.inner.config
+
+    @property
+    def n_lines(self) -> int:
+        return self.inner.n_lines
+
+    @property
+    def engine(self):
+        return self.inner.engine
+
+    @property
+    def memory(self):
+        return self.inner.memory
+
+    @property
+    def dead(self):
+        return self.inner.dead
+
+    @property
+    def death_fault_counts(self) -> dict[int, int]:
+        return self.inner.death_fault_counts
+
+    @property
+    def dead_fraction(self) -> float:
+        return self.inner.dead_fraction
+
+    def average_faults_per_dead_block(self) -> float:
+        return self.inner.average_faults_per_dead_block()
+
+    @property
+    def stats(self) -> ControllerStats:
+        """Inner PCM counters plus the tier overlay, one merged view."""
+        return self.inner.stats.merge(self.tier.stats)
+
+    def enable_bank_parallel(self, workers: int | None = None):
+        return self.inner.enable_bank_parallel(workers)
+
+    def disable_bank_parallel(self) -> None:
+        self.inner.disable_bank_parallel()
+
+    def verify_state(self) -> None:
+        """Lockstep hook: flush pending residents, then verify PCM.
+
+        Only meaningful when the inner controller is a
+        ``ValidatingController``; the flush itself runs through the
+        validated write path, so eviction flushes are diffed too.
+        """
+        self.flush()
+        self.inner.verify_state()

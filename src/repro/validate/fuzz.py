@@ -298,6 +298,7 @@ def run_fuzz(
     progress=None,
     shards: int = 1,
     batch: int = 1,
+    tier_lines: int = 0,
 ) -> FuzzReport:
     """Differential campaigns over ``systems`` x ``schemes``.
 
@@ -325,11 +326,22 @@ def run_fuzz(
     ``batch=1`` campaign.  Note a batch-only divergence need not
     reproduce under the (serial) recipe replay used for shrinking --
     in that case the unshrunk recipe is kept.
+
+    ``tier_lines > 0`` fronts every shard's lockstep pair with a
+    content-aware DRAM tier (:mod:`repro.tier`), so the oracle
+    validates exactly the *post-tier* PCM write stream -- coalesced
+    writes never reach either controller, eviction flushes reach both.
+    End-of-campaign verification flushes each tier first (through the
+    validated write path) so the full-state sweep covers every line
+    the stream touched.  ``tier_lines=0`` is the historical campaign,
+    bit for bit.
     """
     if shards < 1:
         raise ValueError("need at least one shard")
     if batch < 1:
         raise ValueError("batch must be positive")
+    if tier_lines < 0:
+        raise ValueError("tier_lines must be >= 0")
     report = FuzzReport()
     started = time.monotonic()
     names = tuple(systems) if systems else system_names()
@@ -368,6 +380,13 @@ def run_fuzz(
                     shard_seeds(seed + campaign_index, shards)
                 )
             ]
+            if tier_lines:
+                from ..tier import HybridController
+
+                controllers = [
+                    HybridController(controller, tier_lines)
+                    for controller in controllers
+                ]
             palette = _PayloadPalette(rng, lines)
             try:
                 for _ in range(0, writes, batch):
@@ -394,10 +413,14 @@ def run_fuzz(
                         break
                 else:
                     for controller in controllers:
+                        # HybridController.verify_state flushes its
+                        # tier first, so pending residents are diffed.
                         controller.verify_state()
-                    assert_fleet_view(
-                        [controller.fast.stats for controller in controllers]
-                    )
+                    assert_fleet_view([
+                        (controller.inner if tier_lines else controller)
+                        .fast.stats
+                        for controller in controllers
+                    ])
             except DivergenceError as error:
                 if shrink:
                     try:

@@ -117,6 +117,107 @@ class TestResumeEquivalence:
         assert resumed == golden
 
 
+class TestBatchedResume:
+    """Scheduler observability counters must survive checkpoint/resume.
+
+    ``LifetimeResult`` equality covers ``batch_waves``,
+    ``batch_wave_ops`` and ``batch_wave_width_max``, so comparing a
+    resumed batched run against an uninterrupted one asserts counter
+    continuity, not just simulation-state continuity.  Both runs use
+    the same checkpoint cadence: with ``batch > 1`` epochs are capped
+    at cadence boundaries, so the cadence is part of the wave
+    structure.
+    """
+
+    BATCH = 8
+
+    def _run_batched(self, tmp_path, name, max_writes, resume_from=None):
+        simulator = small_simulator()
+        result = simulator.run(
+            max_writes=max_writes, batch=self.BATCH,
+            checkpoint_dir=tmp_path / name,
+            checkpoint_interval=CHECKPOINT_EVERY,
+            resume_from=resume_from,
+        )
+        return simulator, result
+
+    def test_batched_resume_preserves_wave_counters(self, tmp_path):
+        _, golden = self._run_batched(tmp_path, "golden", BUDGET)
+        assert golden.failed and golden.batch_waves > 0
+        self._run_batched(tmp_path, "interrupted", INTERRUPT_AT)
+        resume_point = latest_checkpoint(tmp_path / "interrupted")
+        checkpoint = read_checkpoint(resume_point)
+        # The checkpointed controller already carries wave telemetry.
+        assert checkpoint.controller.stats.batch_waves > 0
+        _, resumed = self._run_batched(
+            tmp_path, "interrupted", BUDGET, resume_from=resume_point
+        )
+        assert resumed == golden  # includes batch_wave_* continuity
+
+
+class TestVersionCompatibility:
+    def _checkpoint_from_run(self, tmp_path):
+        simulator = small_simulator()
+        simulator.run(max_writes=600, checkpoint_dir=tmp_path,
+                      checkpoint_interval=500)
+        return read_checkpoint(latest_checkpoint(tmp_path))
+
+    def test_current_checkpoints_carry_the_tier_capacity(self, tmp_path):
+        from repro.lifetime.checkpoint import CHECKPOINT_VERSION
+
+        checkpoint = self._checkpoint_from_run(tmp_path)
+        assert checkpoint.version == CHECKPOINT_VERSION
+        assert checkpoint.tier_lines == 0
+
+    def test_version1_checkpoint_without_tier_field_still_resumes(
+        self, tmp_path
+    ):
+        """Pre-tier snapshots (version 1, no ``tier_lines`` attribute)
+        must keep loading and resuming as the tier-less runs they were."""
+        checkpoint = self._checkpoint_from_run(tmp_path)
+        stale = Checkpoint(**{**checkpoint.__dict__, "version": 1})
+        del stale.__dict__["tier_lines"]  # the attribute predates v2
+        path = write_checkpoint(stale, tmp_path / "v1")
+        reloaded = read_checkpoint(path)
+        assert reloaded.version == 1
+        golden = small_simulator().run(max_writes=BUDGET)
+        resumed = small_simulator().run(max_writes=BUDGET, resume_from=path)
+        assert resumed == golden
+        assert reloaded.writes_issued == 500
+
+
+class TestTieredCheckpoints:
+    def tiered_simulator(self, tier_lines=4):
+        return build_simulator(
+            "comp_wf", "milc", tier_lines=tier_lines, **SMALL
+        )
+
+    def test_tiered_run_resumes_bit_identically(self, tmp_path):
+        """The DRAM tier's residents/refcounts/LRU order ride the
+        pickled controller, so a resumed tiered run is bit-identical."""
+        golden = self.tiered_simulator().run(max_writes=3_000)
+        interrupted = self.tiered_simulator()
+        interrupted.run(max_writes=INTERRUPT_AT, checkpoint_dir=tmp_path,
+                        checkpoint_interval=CHECKPOINT_EVERY)
+        resume_point = latest_checkpoint(tmp_path)
+        checkpoint = read_checkpoint(resume_point)
+        assert checkpoint.tier_lines == 4
+        assert len(checkpoint.controller.tier) >= 0  # tier state pickled
+        resumed = self.tiered_simulator().run(
+            max_writes=3_000, resume_from=resume_point
+        )
+        assert resumed == golden
+
+    def test_restore_refuses_a_checkpoint_with_a_different_tier(
+        self, tmp_path
+    ):
+        bare = small_simulator()
+        bare.run(max_writes=600, checkpoint_dir=tmp_path,
+                 checkpoint_interval=500)
+        with pytest.raises(ValueError, match="different run"):
+            self.tiered_simulator().restore(latest_checkpoint(tmp_path))
+
+
 class TestCheckpointStore:
     def test_atomic_write_leaves_no_temporaries(self, tmp_path):
         simulator = small_simulator()

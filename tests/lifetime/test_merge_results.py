@@ -104,6 +104,31 @@ def test_pre_service_records_fall_back_to_weighted_ratios():
     )
 
 
+def test_zero_write_legacy_records_merge_without_dividing_by_zero():
+    """An empty shard (0 lines, 0 writes) used to crash the legacy
+    write-weighted fallback with a ZeroDivisionError; it must merge as
+    plain zeros instead."""
+    def legacy(lines, writes, dead_fraction, compressed_fraction):
+        return LifetimeResult(
+            system="comp_wf", workload="mcf", n_lines=lines,
+            endurance_mean=24.0, writes_issued=writes, failed=False,
+            dead_fraction=dead_fraction, total_flips=0, set_flips=0,
+            reset_flips=0, lost_writes=0, deaths=0, revivals=0,
+            avg_faults_per_dead_block=0.0,
+            compressed_write_fraction=compressed_fraction,
+        )
+
+    empty = legacy(0, 0, 0.0, 0.0)
+    merged = merge_results([empty, empty])
+    assert merged.dead_fraction == 0.0
+    assert merged.compressed_write_fraction == 0.0
+
+    populated = legacy(20, 200, 0.3, 0.6)
+    mixed = merge_results([empty, populated])
+    assert mixed.dead_fraction == pytest.approx(0.3)
+    assert mixed.compressed_write_fraction == pytest.approx(0.6)
+
+
 def test_simulator_populates_the_exact_merge_fields(shard_results):
     for result in shard_results:
         assert result.capacity_lines >= result.n_lines
