@@ -1,54 +1,106 @@
-"""Ablation: array write energy per write-back across the systems.
+"""Energy x lifetime x throughput Pareto sweep (BENCH_energy.json).
 
 The paper's Section I motivates compression partly by energy: fewer
-programmed cells means less SET/RESET energy.  This bench quantifies
-per-write array energy under the four systems (wear-free runs so the
-comparison is about steady-state flips, not end-of-life behaviour).
+programmed cells means less SET/RESET energy.  PR 9 widens that single
+ablation into a full sweep: every evaluated system plus the
+energy-encoding variants (WIRE, restricted coset) runs to the failure
+criterion on the workload trio, each run is priced through the
+per-operation :class:`repro.energy.EnergyModel` (array pulses +
+encoding flag cells + correction logic), joined with the Section V-B
+read-throughput model, and the per-workload Pareto frontier is marked.
+The full point set is written to ``benchmarks/results/BENCH_energy.json``
+for downstream tooling (same record shape as ``python -m repro energy``).
 """
 
+import json
+from pathlib import Path
+
 from repro.core import EVALUATED_SYSTEMS
-from repro.lifetime import build_simulator
+from repro.energy import run_energy_sweep
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: The energy-encoding variants swept next to the paper's four systems.
+ENCODED_SYSTEMS = ("baseline_wire", "comp_wf_wire", "comp_coset", "comp_wf_coset")
+SWEPT_SYSTEMS = EVALUATED_SYSTEMS + ENCODED_SYSTEMS
+
+#: Non-encoded reference for each encoded variant (energy-reduction
+#: assertions compare these pairs).
+BASELINE_OF = {
+    "baseline_wire": "baseline",
+    "comp_wf_wire": "comp_wf",
+    "comp_coset": "comp",
+    "comp_wf_coset": "comp_wf",
+}
 
 
-def test_ablation_write_energy(benchmark, report, bench_scale):
-    workloads = ("milc", "gcc", "lbm")
-
+def test_energy_pareto_sweep(benchmark, report, bench_scale):
     def measure():
-        table = {}
-        for workload in workloads:
-            row = {}
-            for system in EVALUATED_SYSTEMS:
-                simulator = build_simulator(
-                    system, workload,
-                    n_lines=bench_scale["n_lines"] // 2,
-                    endurance_mean=10**6,  # wear-free steady state
-                    seed=0,
-                )
-                result = simulator.run(max_writes=25_000)
-                row[system] = result
-            table[workload] = row
-        return table
-
-    table = benchmark.pedantic(measure, rounds=1, iterations=1)
-
-    lines = [f"{'workload':10}" + "".join(f"{s:>12}" for s in EVALUATED_SYSTEMS)
-             + "   (pJ/write)"]
-    for workload, row in table.items():
-        lines.append(
-            f"{workload:10}"
-            + "".join(
-                f"{row[system].write_energy_per_write_pj():12.0f}"
-                for system in EVALUATED_SYSTEMS
-            )
+        return run_energy_sweep(
+            systems=SWEPT_SYSTEMS,
+            n_lines=bench_scale["n_lines"],
+            endurance_mean=float(bench_scale["endurance_mean"]),
+            seed=0,
         )
-    lines.append("compression cuts array energy roughly with the flip count")
-    report("ablation_write_energy", "\n".join(lines))
 
-    for workload, row in table.items():
-        baseline = row["baseline"].write_energy_per_write_pj()
-        assert baseline > 0
-        if workload == "milc":  # highly compressible: clear energy win
-            assert row["comp_wf"].write_energy_per_write_pj() < 0.8 * baseline
-        # No system more than modestly exceeds baseline energy.
-        for system in EVALUATED_SYSTEMS:
-            assert row[system].write_energy_per_write_pj() < 1.3 * baseline
+    points = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_energy.json").write_text(
+        json.dumps({"points": points}, indent=2) + "\n"
+    )
+
+    by_key = {(p["workload"], p["system"]): p for p in points}
+    workloads = sorted({p["workload"] for p in points})
+
+    lines = [
+        f"{'workload':9}{'system':16}{'pJ/write':>10}{'writes':>10}"
+        f"{'Mreads/s':>10}  frontier"
+    ]
+    for workload in workloads:
+        group = sorted(
+            (p for p in points if p["workload"] == workload),
+            key=lambda p: p["energy_per_write_pj"],
+        )
+        for p in group:
+            lines.append(
+                f"{workload:9}{p['system']:16}"
+                f"{p['energy_per_write_pj']:10.1f}{p['writes_issued']:10d}"
+                f"{p['throughput_mreads_per_s']:10.1f}"
+                f"  {'*' if p['pareto'] else ''}"
+            )
+    lines.append("* = on the workload's energy/lifetime/throughput frontier")
+    report("energy_pareto", "\n".join(lines))
+
+    for workload in workloads:
+        # Every run reached the failure criterion (the lifetime axis is
+        # comparable) and priced to a positive energy.
+        for system in SWEPT_SYSTEMS:
+            p = by_key[(workload, system)]
+            assert p["failed"], f"{system}/{workload} did not run to failure"
+            assert p["energy_per_write_pj"] > 0
+        # The encoders exist to cut write energy: each encoded variant
+        # must beat its non-encoded reference on pJ/write (flag-cell
+        # and correction costs included).  The one sanctioned exception
+        # is the *restricted* coset on a barely compressible workload
+        # (lbm): with no compression slack the selectors are pinned to
+        # identity, so the best it can do is track its reference.
+        for encoded, reference in BASELINE_OF.items():
+            enc = by_key[(workload, encoded)]
+            ref = by_key[(workload, reference)]
+            no_slack = enc["encoding"] == "coset" and workload == "lbm"
+            bound = 1.02 if no_slack else 1.0
+            assert (
+                enc["energy_per_write_pj"] < bound * ref["energy_per_write_pj"]
+            ), (
+                f"{encoded} did not reduce write energy vs {reference} "
+                f"on {workload}"
+            )
+        # Frontier sanity: at least one point is non-dominated, and
+        # every frontier member's energy is no worse than the worst.
+        frontier = [p for p in points
+                    if p["workload"] == workload and p["pareto"]]
+        assert frontier
+        worst = max(p["energy_per_write_pj"] for p in points
+                    if p["workload"] == workload)
+        assert all(p["energy_per_write_pj"] <= worst for p in frontier)

@@ -1,0 +1,150 @@
+#!/usr/bin/env python
+"""Energy-subsystem smoke check for CI.
+
+Gates the conservation properties the energy model and the encoding
+stages (:mod:`repro.energy`) must never lose, on short deterministic
+runs:
+
+1. **Disabled-encoding identity** -- a controller with
+   ``encoding="none"`` and the same controller with an attached
+   identity-parameter encoder (identity is the only coset) must agree
+   stat for stat and cell for cell.  This is what keeps the golden
+   traces and the fuzz corpus valid while the encoding stage sits in
+   every write path.
+2. **Flip/wear conservation** -- for encoded and non-encoded systems
+   alike, the flips the stats counted must equal the wear the array
+   accumulated (``total_flips == counts.sum()``): the energy model
+   prices those counters, so a drift here silently corrupts every
+   picojoule figure.
+3. **Merge commutativity** -- the energy counters must merge
+   commutatively across shards, and pricing must be additive over the
+   merge: ``breakdown(a ⊕ b) == breakdown(a) + breakdown(b)``.
+   Fleet-level energy telemetry is only sound if the merged view prices
+   exactly like the sum of the shard views.
+
+Usage::
+
+    python scripts/energy_smoke_check.py [--writes N]
+
+Exit status 0 when every gate holds, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import CompressedPCMController  # noqa: E402
+from repro.energy import EnergyModel, WireEncoder  # noqa: E402
+from repro.engine import resolve_config  # noqa: E402
+from repro.pcm import EnduranceModel  # noqa: E402
+from repro.traces import SyntheticWorkload, get_profile  # noqa: E402
+
+LINES = 48
+ENDURANCE = 40.0
+SEED = 7
+WORKLOAD = "gcc"
+
+ENERGY_COUNTERS = (
+    "set_flips", "reset_flips",
+    "encoding_flag_set_flips", "encoding_flag_reset_flips",
+    "encoded_words", "repair_commits",
+)
+
+
+def build(system: str) -> CompressedPCMController:
+    return CompressedPCMController(
+        config=resolve_config(system),
+        n_lines=LINES,
+        endurance_model=EnduranceModel(mean=ENDURANCE, cov=0.2),
+        rng=np.random.default_rng(SEED),
+        n_banks=4,
+    )
+
+
+def drive(controller: CompressedPCMController, writes: int) -> None:
+    workload = SyntheticWorkload(
+        get_profile(WORKLOAD), n_lines=LINES, seed=SEED
+    )
+    for write in workload.iter_writes(writes):
+        controller.write(write.line, write.data)
+
+
+def check(writes: int) -> int:
+    print(f"replaying {writes} {WORKLOAD} writes over {LINES} lines ...")
+
+    # Gate 1: disabled encoding == attached identity-parameter encoder.
+    plain = build("comp_wf")
+    drive(plain, writes)
+    identity = build("comp_wf")
+    identity.engine.encoder = WireEncoder(
+        len(identity.engine.metadata), transforms=("identity",)
+    )
+    drive(identity, writes)
+    if plain.stats != identity.stats:
+        print("FAIL: identity-parameter encoder perturbed the stats",
+              file=sys.stderr)
+        return 1
+    if plain.memory.stored.tolist() != identity.memory.stored.tolist():
+        print("FAIL: identity-parameter encoder perturbed stored cells",
+              file=sys.stderr)
+        return 1
+    print("OK: identity-parameter encoding is bit-identical to encoding off")
+
+    # Gate 2: flip/wear conservation, encoded and non-encoded alike.
+    for system in ("comp_wf", "comp_wf_wire", "comp_coset"):
+        controller = build(system)
+        drive(controller, writes)
+        counted = controller.stats.total_flips
+        worn = int(controller.memory.counts.sum())
+        if counted != worn:
+            print(f"FAIL: {system}: counted {counted} flips but the array "
+                  f"wore {worn} cells", file=sys.stderr)
+            return 1
+    print("OK: total_flips == accumulated cell wear for "
+          "comp_wf / comp_wf_wire / comp_coset")
+
+    # Gate 3: commutative merge, additive pricing.
+    shard_a = build("comp_wf_wire")
+    drive(shard_a, writes)
+    shard_b = build("comp_coset")
+    drive(shard_b, writes)
+    a, b = shard_a.stats, shard_b.stats
+    ab, ba = a.merge(b), b.merge(a)
+    if ab != ba:
+        print("FAIL: stats merge is not commutative", file=sys.stderr)
+        return 1
+    for counter in ENERGY_COUNTERS:
+        merged = getattr(ab, counter)
+        summed = getattr(a, counter) + getattr(b, counter)
+        if merged != summed:
+            print(f"FAIL: merged {counter} {merged} != shard sum {summed}",
+                  file=sys.stderr)
+            return 1
+    model = EnergyModel()
+    merged_pj = model.breakdown(ab).total_pj
+    summed_pj = model.breakdown(a).total_pj + model.breakdown(b).total_pj
+    if abs(merged_pj - summed_pj) > 1e-6 * max(summed_pj, 1.0):
+        print(f"FAIL: merged pricing {merged_pj} pJ != shard sum "
+              f"{summed_pj} pJ", file=sys.stderr)
+        return 1
+    print(f"OK: energy counters merge commutatively and price additively "
+          f"({merged_pj:.0f} pJ fleet total)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--writes", type=int, default=1500)
+    args = parser.parse_args(argv)
+    return check(args.writes)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

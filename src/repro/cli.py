@@ -8,6 +8,7 @@ Subcommands map to the paper's experiments:
 ``compress``    Figures 3/6/11 compression statistics per workload
 ``flips``       Figure 5 flip-direction split per workload
 ``perf``        Section V-B read-latency / slowdown model
+``energy``      energy x lifetime x throughput Pareto sweep (repro.energy)
 ``trace``       generate and save a synthetic write-back trace
 ``systems``     list registered ``SystemSpec``s and their stages
 ``fuzz``        differential fuzzing: fast pipeline vs reference oracle
@@ -37,6 +38,14 @@ from .faultinjection import tolerable_faults
 from .perf import PerformanceModel
 from .service.workloads import SERVICE_WORKLOADS
 from .traces import WORKLOAD_ORDER, SyntheticWorkload, get_profile, save_trace
+
+
+#: Default ``energy`` sweep: the paper's evaluated four plus the
+#: energy-encoding variants (sweeping *every* registered system to the
+#: failure criterion is expensive; ask for --systems explicitly).
+ENERGY_SWEEP_SYSTEMS = EVALUATED_SYSTEMS + (
+    "baseline_wire", "comp_wf_wire", "comp_coset", "comp_wf_coset",
+)
 
 
 def _positive_int(value: str) -> int:
@@ -113,6 +122,10 @@ def build_parser() -> argparse.ArgumentParser:
     lifetime.add_argument("--progress", action="store_true",
                           help="print per-run heartbeat progress lines to "
                           "stderr")
+    lifetime.add_argument("--energy", action="store_true",
+                          help="also print each run's write-path energy "
+                          "(pJ/write via repro.energy, correction logic "
+                          "included)")
     _add_tier_option(lifetime)
 
     montecarlo = subparsers.add_parser("montecarlo", help="Figure 9 crossings")
@@ -134,6 +147,28 @@ def build_parser() -> argparse.ArgumentParser:
     perf = subparsers.add_parser("perf", help="Section V-B overheads")
     _add_workloads_option(perf, list(WORKLOAD_ORDER))
     perf.add_argument("--samples", type=_positive_int, default=1000)
+
+    energy = subparsers.add_parser(
+        "energy", help="energy x lifetime x throughput Pareto sweep"
+    )
+    _add_workloads_option(energy, ["milc", "gcc", "lbm"])
+    energy.add_argument("--systems", nargs="+", default=None,
+                        choices=system_names(), metavar="SYSTEM",
+                        help="systems to sweep (default: the evaluated four "
+                        "plus the energy-encoding variants)")
+    energy.add_argument("--lines", type=_positive_int, default=96)
+    energy.add_argument("--endurance", type=float, default=60.0)
+    energy.add_argument("--max-writes", type=_positive_int, default=2_000_000,
+                        help="per-run write budget (runs stop early at the "
+                        "failure criterion)")
+    energy.add_argument("--samples", type=_positive_int, default=500,
+                        help="write-stream samples for the read-mix estimate")
+    energy.add_argument("--seed", type=int, default=0)
+    energy.add_argument("--json", action="store_true",
+                        help="print the point set as JSON (the "
+                        "BENCH_energy.json record shape)")
+    energy.add_argument("--out", metavar="FILE", default=None,
+                        help="also write the JSON point set to FILE")
 
     trace = subparsers.add_parser("trace", help="generate a trace file")
     trace.add_argument("workload", choices=sorted(WORKLOAD_ORDER))
@@ -298,6 +333,7 @@ def _run_lifetime(args: argparse.Namespace) -> None:
           + f"{'base months':>13}{'WF months':>11}")
     cache_hits = cache_misses = 0
     waves = wave_ops = widest_wave = 0
+    energy_rows: list[tuple[str, str, object]] = []
     for workload in args.workloads:
         study = run_workload_study(
             workload, systems=systems, n_lines=args.lines,
@@ -316,12 +352,25 @@ def _run_lifetime(args: argparse.Namespace) -> None:
         wf = "comp_wf" if "comp_wf" in systems else systems[-1]
         row += f"{study.months(wf):11.1f}"
         print(row)
-        for result in study.results.values():
+        for system, result in study.results.items():
             cache_hits += result.compression_cache_hits
             cache_misses += result.compression_cache_misses
             waves += result.batch_waves
             wave_ops += result.batch_wave_ops
             widest_wave = max(widest_wave, result.batch_wave_width_max)
+            if args.energy:
+                scheme = resolve_config(system).correction_scheme
+                energy_rows.append(
+                    (workload, system, result.energy_breakdown(scheme=scheme))
+                )
+    if energy_rows:
+        print(f"{'workload':12}{'system':>14}{'pJ/write':>10}"
+              f"{'array':>9}{'flags':>8}{'logic':>8}")
+        for workload, system, b in energy_rows:
+            writes = b.writes or 1
+            print(f"{workload:12}{system:>14}{b.per_write_pj:10.1f}"
+                  f"{b.array_pj / writes:9.1f}{b.flag_pj / writes:8.2f}"
+                  f"{b.correction_pj / writes:8.2f}")
     lookups = cache_hits + cache_misses
     if lookups:
         print(f"compression cache: {cache_hits} hits / {cache_misses} misses "
@@ -383,6 +432,47 @@ def cmd_perf(args: argparse.Namespace) -> None:
     for name in args.workloads:
         report = model.report(get_profile(name), samples=args.samples)
         print(f"{name:12}{report.read_latency_overhead:15.2%}{report.slowdown:11.3%}")
+
+
+def cmd_energy(args: argparse.Namespace) -> int:
+    """Run the energy x lifetime x throughput Pareto sweep."""
+    import json as json_module
+    from pathlib import Path
+
+    from .energy import run_energy_sweep
+
+    systems = tuple(args.systems) if args.systems else ENERGY_SWEEP_SYSTEMS
+    points = run_energy_sweep(
+        workloads=tuple(args.workloads), systems=systems,
+        n_lines=args.lines, endurance_mean=args.endurance,
+        max_writes=args.max_writes, seed=args.seed,
+        mix_samples=args.samples,
+    )
+    payload = {"points": points}
+    if args.out:
+        Path(args.out).write_text(json_module.dumps(payload, indent=2) + "\n")
+    if args.json:
+        print(json_module.dumps(payload, indent=2))
+        return 0
+    print(f"{'workload':10}{'system':16}{'pJ/write':>10}{'array':>9}"
+          f"{'flags':>8}{'logic':>8}{'writes':>10}{'Mreads/s':>10}")
+    for point in points:
+        energy = point["energy"]
+        writes = point["writes_issued"] or 1
+        array = (energy["array_set_pj"] + energy["array_reset_pj"]) / writes
+        flags = (energy["flag_set_pj"] + energy["flag_reset_pj"]) / writes
+        logic = (
+            energy["correction_check_pj"] + energy["correction_commit_pj"]
+        ) / writes
+        marker = "  *" if point["pareto"] else ""
+        print(f"{point['workload']:10}{point['system']:16}"
+              f"{point['energy_per_write_pj']:10.1f}{array:9.1f}"
+              f"{flags:8.2f}{logic:8.2f}{point['writes_issued']:10d}"
+              f"{point['throughput_mreads_per_s']:10.2f}{marker}")
+    print("* = Pareto frontier (min pJ/write, max lifetime, max throughput)")
+    if args.out:
+        print(f"points written to {args.out}")
+    return 0
 
 
 def cmd_trace(args: argparse.Namespace) -> None:
@@ -493,7 +583,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 0
 
 
-def _print_fleet_summary(result) -> None:
+def _print_fleet_summary(result, config=None) -> None:
     """Human-readable fleet summary shared by ``serve`` and ``workload``."""
     stats = result.stats
     print(f"fleet: {result.shards} shard(s), {result.total_lines} lines, "
@@ -503,6 +593,20 @@ def _print_fleet_summary(result) -> None:
           f"(compressed={stats.compressed_writes:,}) "
           f"lost={stats.lost_writes:,} deaths={stats.deaths} "
           f"revivals={stats.revivals} dead={result.dead_fraction:.4f}")
+    if config is not None:
+        # Fleet-level energy telemetry: the merged stats price exactly
+        # like a single bookkeeper's (the breakdown is additive over
+        # the stats monoid, pinned by tests/energy/test_model.py).
+        from .energy import EnergyModel
+
+        breakdown = EnergyModel().breakdown(
+            stats, scheme=config.correction_scheme
+        )
+        writes = breakdown.writes or 1
+        print(f"  energy: {breakdown.per_write_pj:.1f} pJ/write "
+              f"(array {breakdown.array_pj / writes:.1f}, "
+              f"flags {breakdown.flag_pj / writes:.2f}, "
+              f"correction logic {breakdown.correction_pj / writes:.2f})")
     for shard, (shard_stats, served) in enumerate(
         zip(result.shard_stats, result.shard_writes)
     ):
@@ -554,7 +658,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.json:
         print(json_module.dumps(result.to_dict(), indent=2))
     else:
-        _print_fleet_summary(result)
+        _print_fleet_summary(result, config=config)
         if args.telemetry_dir:
             print(f"telemetry: {args.telemetry_dir}/fleet.jsonl + "
                   f"shard-<i>/events.jsonl")
@@ -591,7 +695,7 @@ def cmd_workload(args: argparse.Namespace) -> int:
         dead_fraction=fleet.dead_fraction, stats=fleet.stats,
         shard_stats=fleet.shard_stats(),
         shard_writes=[c.stats.demand_writes for c in fleet.controllers],
-    ))
+    ), config=config)
     return 0
 
 
@@ -601,6 +705,7 @@ _COMMANDS = {
     "compress": cmd_compress,
     "flips": cmd_flips,
     "perf": cmd_perf,
+    "energy": cmd_energy,
     "trace": cmd_trace,
     "systems": cmd_systems,
     "report": cmd_report,

@@ -58,6 +58,13 @@ class SystemConfig:
     #: content.  0 (the paper's setting) disables the tier entirely --
     #: runs are then bit-identical to a bare controller.
     tier_lines: int = 0
+    #: Energy extension: write-energy-reducing line encoding
+    #: (:mod:`repro.energy.encoders`).  ``"none"`` (the paper's setting)
+    #: runs the plain differential write, bit-identical to every
+    #: pre-encoding run; ``"wire"`` adds WIRE-style energy-weighted
+    #: inversion; ``"coset"`` adds restricted coset coding through the
+    #: compression slack (requires compression).
+    encoding: str = "none"
 
     def __post_init__(self) -> None:
         if self.threshold1 < 1 or self.threshold1 > 64:
@@ -76,6 +83,16 @@ class SystemConfig:
             raise ValueError("compression_cache_lines must be >= 0")
         if self.tier_lines < 0:
             raise ValueError("tier_lines must be >= 0")
+        if self.encoding not in ("none", "wire", "coset"):
+            raise ValueError(
+                f"encoding must be 'none', 'wire' or 'coset', "
+                f"got {self.encoding!r}"
+            )
+        if self.encoding == "coset" and not self.use_compression:
+            raise ValueError(
+                "restricted coset coding stores its selectors in "
+                "compression slack; enable compression first"
+            )
         if not self.use_compression and (
             self.use_intra_wear_leveling or self.use_dead_block_revival
         ):

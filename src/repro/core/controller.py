@@ -151,6 +151,12 @@ class CompressedPCMController:
             remapper=remapper,
             address_range=address_range,
         )
+        if config.encoding != "none":
+            # Deferred import: repro.energy depends on repro.core for
+            # line geometry, so importing it at module scope would cycle.
+            from ..energy.encoders import make_encoder
+
+            self.engine.encoder = make_encoder(config.encoding, physical)
         # Debug-mode invariant checkers (repro.validate.invariants),
         # run by the pipeline after every write; empty by default.
         self.pipeline = WritePipeline(self.engine, invariants=invariants)
@@ -310,6 +316,9 @@ class CompressedPCMController:
         bits = engine.memory.read_bits(physical).copy()
         for position, value in engine.repairs[physical].items():
             bits[position] = value
+        # Undo the write-energy line encoding (repairs patch *cell*
+        # values, so they apply before decoding); identity when off.
+        bits = self.pipeline.encoding.decode_read(physical, bits)
         if not meta.compressed:
             return extract_bytes(bits, 0, LINE_BYTES)
         payload = extract_bytes(bits, meta.start_pointer, meta.stored_size)

@@ -1,0 +1,46 @@
+"""Energy-aware encoding and per-operation write-energy accounting.
+
+Three pieces (ROADMAP: energy-aware encodings / Pareto comparison):
+
+* :mod:`repro.energy.model` -- prices the engine's operation counters
+  (SET/RESET cell flips, encoding flag flips, correction-scheme gate
+  activity) into picojoules.
+* :mod:`repro.energy.encoders` -- the WIRE and restricted-coset line
+  encoders the engine's :class:`~repro.engine.stages.EncodingStage`
+  drives (``SystemConfig.encoding``).
+* :mod:`repro.energy.pareto` -- the energy x lifetime x throughput
+  sweep behind ``BENCH_energy.json`` and ``python -m repro energy``.
+"""
+
+from .encoders import (
+    ENCODING_CHOICES,
+    CosetEncoder,
+    EncodeOutcome,
+    LineEncoder,
+    WireEncoder,
+    make_encoder,
+)
+from .model import (
+    CORRECTION_ENERGY,
+    CorrectionEnergy,
+    EnergyBreakdown,
+    EnergyModel,
+    correction_energy,
+)
+from .pareto import pareto_frontier, run_energy_sweep
+
+__all__ = [
+    "ENCODING_CHOICES",
+    "CORRECTION_ENERGY",
+    "CorrectionEnergy",
+    "CosetEncoder",
+    "EncodeOutcome",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "LineEncoder",
+    "WireEncoder",
+    "correction_energy",
+    "make_encoder",
+    "pareto_frontier",
+    "run_energy_sweep",
+]

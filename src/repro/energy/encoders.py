@@ -1,0 +1,321 @@
+"""Write-energy-reducing line encoders: WIRE and restricted coset coding.
+
+Both encoders are per-word XOR transforms chosen write-by-write to
+minimize the *energy* of the differential write (SET and RESET pulses
+priced separately, unlike Flip-N-Write's flip-count objective):
+
+* :class:`WireEncoder` -- WIRE-style: every word may be stored direct
+  or complemented, one flag bit per word, picked by energy-weighted
+  cost against the currently stored cells.
+* :class:`CosetEncoder` -- fine-grain *restricted* coset coding: each
+  word is XORed with one of ``2**r`` coset masks, the ``r``-bit
+  selector living in the slack bits word-level compression frees up.
+  The restriction is the point: on an uncompressed write there is no
+  slack, so the selector is forced to the identity coset -- only
+  compressed writes can spend slack on energy reduction.
+
+Every transform is an XOR with a fixed mask, so ``decode`` is the same
+XOR again (an involution) and a word whose selector is *not* re-chosen
+re-encodes to exactly its stored cells.  That involution property is
+what lets the engine's window discipline survive encoding: bits outside
+the compression window re-encode to their stored values bit-for-bit,
+so the differential write's update mask stays valid (pinned by
+``tests/energy/test_encoders.py``).
+
+Selector/flag cells are modelled like the engine's 13-bit line
+metadata: a reliable side array (no stuck-at faults), but their
+*programming* energy is real -- flag-bit flips are counted separately
+(``encoding_flag_set_flips`` / ``encoding_flag_reset_flips``) and
+priced by :class:`repro.energy.model.EnergyModel` at the same per-cell
+pulse costs as data cells.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+import numpy as np
+
+from ..core.window import LINE_BITS, LINE_BYTES, window_mask
+from ..pcm.device import PCMEnergy
+
+#: Transform-name -> mask builder (word_bits -> 0/1 uint8 mask).
+_TRANSFORMS = {
+    "identity": lambda n: np.zeros(n, dtype=np.uint8),
+    "invert": lambda n: np.ones(n, dtype=np.uint8),
+    # Alternating masks (0xAAAA... / 0x5555...): the classic biased-coset
+    # pair, cheap to generate in hardware and effective on the
+    # run-of-identical-bytes patterns BDI-compressible data is full of.
+    "alt10": lambda n: (np.arange(n, dtype=np.uint8) + 1) % 2,
+    "alt01": lambda n: np.arange(n, dtype=np.uint8) % 2,
+}
+
+
+class EncodeOutcome(NamedTuple):
+    """One ``encode`` call's result: the cell image plus flag accounting."""
+
+    target: np.ndarray
+    flag_set_flips: int
+    flag_reset_flips: int
+    encoded_words: int
+
+
+class LineEncoder:
+    """Per-word XOR-family encoder with per-line selector state.
+
+    Subclasses fix the transform set and the restriction policy; this
+    base owns the mechanics: mask tables, selector storage, the
+    energy-weighted per-word choice, and the involution decode.
+    """
+
+    #: Registry name of the encoding family (``SystemConfig.encoding``).
+    name = "xor"
+    #: Whether non-identity selectors require a compressed write (the
+    #: "restricted" in restricted coset coding).
+    restricted = False
+
+    def __init__(
+        self,
+        n_lines: int,
+        word_bits: int = 32,
+        transforms: tuple[str, ...] = ("identity", "invert"),
+        energy: PCMEnergy | None = None,
+    ) -> None:
+        if n_lines < 1:
+            raise ValueError("need at least one line")
+        if word_bits <= 0 or LINE_BITS % word_bits:
+            raise ValueError(
+                f"word size must divide the {LINE_BITS}-bit line, "
+                f"got {word_bits}"
+            )
+        if not transforms or transforms[0] != "identity":
+            raise ValueError(
+                "transform 0 must be 'identity' (the no-slack selector)"
+            )
+        unknown = [t for t in transforms if t not in _TRANSFORMS]
+        if unknown:
+            raise ValueError(
+                f"unknown transforms {unknown}; choose from "
+                f"{sorted(_TRANSFORMS)}"
+            )
+        self.word_bits = word_bits
+        self.n_words = LINE_BITS // word_bits
+        self.transforms = tuple(transforms)
+        self.energy = energy or PCMEnergy()
+        #: (n_transforms, word_bits) mask table, row t = transform t.
+        self.masks = np.stack(
+            [_TRANSFORMS[t](word_bits) for t in transforms]
+        )
+        #: Selector width in cells (1 transform -> 0 bits: pure identity
+        #: encoders store nothing and flip nothing).
+        self.flag_bits = (
+            (len(transforms) - 1).bit_length() if len(transforms) > 1 else 0
+        )
+        #: (n_transforms, flag_bits) binary selector patterns, MSB first.
+        self.flag_patterns = np.array(
+            [
+                [(t >> bit) & 1 for bit in range(self.flag_bits - 1, -1, -1)]
+                for t in range(len(transforms))
+            ],
+            dtype=np.uint8,
+        ).reshape(len(transforms), self.flag_bits)
+        #: Per-line, per-word selector state (the flag/selector cells).
+        self.flags = np.zeros((n_lines, self.n_words), dtype=np.uint8)
+
+    # -- involution core -------------------------------------------------
+
+    def decode(self, physical: int, stored: np.ndarray) -> np.ndarray:
+        """Stored cell image -> logical bits (XOR is its own inverse)."""
+        words = stored.reshape(self.n_words, self.word_bits)
+        return (words ^ self.masks[self.flags[physical]]).reshape(-1)
+
+    def encode(
+        self,
+        physical: int,
+        stored: np.ndarray,
+        logical: np.ndarray,
+        start: int,
+        size: int,
+        compressed: bool,
+    ) -> EncodeOutcome:
+        """Logical line bits -> cell image, re-choosing in-window selectors.
+
+        ``stored`` is the line's current cell image (the differential
+        write's reference).  Only words *fully* inside the
+        ``[start, start+size)`` byte window get a fresh selector (their
+        cells are all writable); every other word keeps its current
+        selector, so its encoded bits equal its stored bits wherever
+        the logical bits are unchanged -- which is everywhere outside
+        the window, keeping the differential write's update mask exact.
+        """
+        words = logical.reshape(self.n_words, self.word_bits)
+        flags = self.flags[physical]
+        if size == LINE_BYTES:
+            chosen = np.arange(self.n_words)
+        else:
+            in_window = window_mask(start, size).reshape(
+                self.n_words, self.word_bits
+            )
+            chosen = np.flatnonzero(in_window.all(axis=1))
+        if chosen.size and len(self.transforms) > 1:
+            if self.restricted and not compressed:
+                # No compression slack -> no selector storage: the
+                # re-written words fall back to the identity coset.
+                new = np.zeros(chosen.size, dtype=np.uint8)
+            else:
+                stored_words = stored.reshape(
+                    self.n_words, self.word_bits
+                )[chosen]
+                new = self._choose(
+                    words[chosen], stored_words, flags[chosen]
+                )
+            old = flags[chosen]
+            set_flips, reset_flips = self._flag_flips(old, new)
+            flags[chosen] = new
+            encoded_words = int(np.count_nonzero(new))
+        else:
+            set_flips = reset_flips = encoded_words = 0
+        target = (words ^ self.masks[flags]).reshape(-1)
+        return EncodeOutcome(target, set_flips, reset_flips, encoded_words)
+
+    # -- selector choice -------------------------------------------------
+
+    def _choose(
+        self,
+        logical_words: np.ndarray,
+        stored_words: np.ndarray,
+        old_flags: np.ndarray,
+    ) -> np.ndarray:
+        """Energy-minimizing transform per word, deterministic ties.
+
+        Cost of transform ``t`` for a word = SET energy x (stored 0
+        cells driven to 1) + RESET energy x (stored 1 cells driven
+        to 0), for data and selector cells alike.  ``np.argmin``
+        returns the first minimum, so ties break toward the lowest
+        selector (identity first) -- the property the identity-
+        parameter bit-identity tests rely on.
+        """
+        # (words, transforms, word_bits) candidate cell images.
+        candidates = logical_words[:, None, :] ^ self.masks[None, :, :]
+        stored = stored_words[:, None, :]
+        sets = ((candidates == 1) & (stored == 0)).sum(axis=2)
+        resets = ((candidates == 0) & (stored == 1)).sum(axis=2)
+        cost = (
+            sets * self.energy.set_pj_per_bit
+            + resets * self.energy.reset_pj_per_bit
+        )
+        if self.flag_bits:
+            old_patterns = self.flag_patterns[old_flags]
+            flag_sets = (
+                (self.flag_patterns[None, :, :] == 1)
+                & (old_patterns[:, None, :] == 0)
+            ).sum(axis=2)
+            flag_resets = (
+                (self.flag_patterns[None, :, :] == 0)
+                & (old_patterns[:, None, :] == 1)
+            ).sum(axis=2)
+            cost = cost + (
+                flag_sets * self.energy.set_pj_per_bit
+                + flag_resets * self.energy.reset_pj_per_bit
+            )
+        return np.argmin(cost, axis=1).astype(np.uint8)
+
+    def _flag_flips(
+        self, old: np.ndarray, new: np.ndarray
+    ) -> tuple[int, int]:
+        """(SET, RESET) cell flips of moving selector cells old -> new."""
+        if not self.flag_bits:
+            return 0, 0
+        old_bits = self.flag_patterns[old]
+        new_bits = self.flag_patterns[new]
+        set_flips = int(((new_bits == 1) & (old_bits == 0)).sum())
+        reset_flips = int(((new_bits == 0) & (old_bits == 1)).sum())
+        return set_flips, reset_flips
+
+    # -- reporting -------------------------------------------------------
+
+    @property
+    def overhead_bits_per_line(self) -> int:
+        """Selector storage per 512-bit line (0 for pure identity)."""
+        return self.n_words * self.flag_bits
+
+    def describe(self) -> str:
+        masks = "/".join(self.transforms)
+        slack = ", selectors in compression slack" if self.restricted else ""
+        return (
+            f"{self.name}: {self.word_bits}-bit words, cosets {masks} "
+            f"({self.overhead_bits_per_line}b/line){slack}"
+        )
+
+
+class WireEncoder(LineEncoder):
+    """WIRE-style energy-weighted inversion coding.
+
+    Flip-N-Write's circuit with WIRE's objective: each 32-bit word is
+    stored direct or complemented (one flag cell per word), chosen to
+    minimize SET/RESET-weighted programming energy instead of raw flip
+    count -- with asymmetric pulse costs the cheapest image is not the
+    fewest-flips image.  Unrestricted: the flag cell is dedicated, so
+    uncompressed writes encode too.
+
+    ``transforms=("identity",)`` degenerates to a pure pass-through
+    (zero flag bits, zero extra flips) -- the identity-parameter safety
+    rail the bit-identity tests pin.
+    """
+
+    name = "wire"
+    restricted = False
+
+    def __init__(
+        self,
+        n_lines: int,
+        word_bits: int = 32,
+        transforms: tuple[str, ...] = ("identity", "invert"),
+        energy: PCMEnergy | None = None,
+    ) -> None:
+        super().__init__(n_lines, word_bits, transforms, energy)
+
+
+class CosetEncoder(LineEncoder):
+    """Fine-grain restricted coset coding through word-level compression.
+
+    Each word is XORed with one of four coset masks (identity, invert,
+    0xAA.., 0x55..; 2-bit selector per word).  *Restricted*: selectors
+    are stored in the slack bytes compression frees inside the line, so
+    a write stored uncompressed has nowhere to put them and falls back
+    to the identity coset for every word it touches.  Compressible data
+    thus gets the full 4-coset energy reduction while incompressible
+    data pays no storage overhead -- the collaborative-compression
+    trade the paper's window machinery already exploits for lifetime.
+    """
+
+    name = "coset"
+    restricted = True
+
+    def __init__(
+        self,
+        n_lines: int,
+        word_bits: int = 32,
+        transforms: tuple[str, ...] = ("identity", "invert", "alt10", "alt01"),
+        energy: PCMEnergy | None = None,
+    ) -> None:
+        super().__init__(n_lines, word_bits, transforms, energy)
+
+
+#: ``SystemConfig.encoding`` values accepted by :func:`make_encoder`.
+ENCODING_CHOICES = ("none", "wire", "coset")
+
+
+def make_encoder(
+    encoding: str, n_lines: int, energy: PCMEnergy | None = None
+) -> LineEncoder | None:
+    """Build the configured line encoder (None when encoding is off)."""
+    if encoding == "none":
+        return None
+    if encoding == "wire":
+        return WireEncoder(n_lines, energy=energy)
+    if encoding == "coset":
+        return CosetEncoder(n_lines, energy=energy)
+    raise ValueError(
+        f"unknown encoding {encoding!r}; choose from {ENCODING_CHOICES}"
+    )

@@ -30,6 +30,7 @@ from .registry import (
 from .stages import (
     CompressStage,
     CorrectionStage,
+    EncodingStage,
     PlacementStage,
     ProgramStage,
     RemapStage,
@@ -56,6 +57,7 @@ __all__ = [
     "CompressStage",
     "ControllerStats",
     "CorrectionStage",
+    "EncodingStage",
     "EngineState",
     "PlacementStage",
     "ProgramStage",

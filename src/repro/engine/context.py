@@ -89,11 +89,25 @@ class ControllerStats:
     total_flips: int = 0
     set_flips: int = 0
     reset_flips: int = 0
+    # -- EncodingStage (WIRE / restricted coset; repro.energy) -----------
+    #
+    # All zero when ``config.encoding == "none"`` (no encoder is built),
+    # so they cannot perturb bit-identity of non-encoded runs.  Flag
+    # flips are the selector/flag cells programmed alongside the data --
+    # the energy model prices them at the same SET/RESET pulse costs as
+    # array cells; ``encoded_words`` counts words stored under a
+    # non-identity coset this run.
+    encoding_flag_set_flips: int = 0
+    encoding_flag_reset_flips: int = 0
+    encoded_words: int = 0
     # -- CorrectionStage (commit + FREE-p remap) -------------------------
     compressed_writes: int = 0
     uncompressed_writes: int = 0
     start_pointer_updates: int = 0
     encoding_updates: int = 0
+    #: Repair-state refreshes (writes landing on a line with stuck
+    #: cells); the per-commit gate-energy multiplier in ``repro.energy``.
+    repair_commits: int = 0
     remaps: int = 0  # FREE-p extension: blocks retired to spares
     # -- RemapStage (death / revival) ------------------------------------
     deaths: int = 0
@@ -242,6 +256,11 @@ class EngineState:
     heuristic: BitFlipHeuristic | None = None
     intra_wl: IntraLineWearLeveler | None = None
     remapper: FreePRemapper | None = None
+    #: Write-energy-reducing line encoder (``repro.energy.encoders``),
+    #: or ``None`` when ``config.encoding == "none"``.  Duck-typed to
+    #: avoid a core->energy import cycle; the
+    #: :class:`~repro.engine.stages.EncodingStage` drives it.
+    encoder: object | None = None
     #: Maintained count of True entries in ``dead`` -- kept in sync by
     #: RemapStage.mark_dead/revive so ``dead_fraction`` is O(1).
     dead_count: int = 0

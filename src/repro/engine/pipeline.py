@@ -23,6 +23,7 @@ from .context import EngineState, WriteContext, WriteResult
 from .stages import (
     CompressStage,
     CorrectionStage,
+    EncodingStage,
     PlacementStage,
     ProgramStage,
     RemapStage,
@@ -47,6 +48,9 @@ class WritePipeline:
         self.compress = compress or CompressStage(state)
         self.placement = placement or PlacementStage(state)
         self.program = program or ProgramStage(state)
+        # The program stage owns its encoding sub-stage; surface it so
+        # the stage listing and the controller's read path reach it.
+        self.encoding: EncodingStage = self.program.encoding
         self.correction = correction or CorrectionStage(state)
         self.remap = remap or RemapStage(state)
         #: Debug-mode checkers (see :mod:`repro.validate.invariants`):
@@ -60,6 +64,7 @@ class WritePipeline:
         return (
             self.compress,
             self.placement,
+            self.encoding,
             self.program,
             self.correction,
             self.remap,
@@ -134,12 +139,15 @@ class WritePipeline:
         memory = state.memory
         if (
             self.invariants
+            or state.encoder is not None
             or len(requests) < 2
             or not hasattr(memory, "write_rows")
             or memory.fault_mode is not FaultMode.STUCK_AT_LAST
         ):
-            # Invariant checkers observe per-write state; MLC arrays and
-            # probabilistic fault modes have no vectorized row kernel.
+            # Invariant checkers observe per-write state; line encoders
+            # keep per-write selector state the row kernel does not
+            # model; MLC arrays and probabilistic fault modes have no
+            # vectorized row kernel.
             return [
                 self.write_line(physical, data) for physical, data in requests
             ]

@@ -202,3 +202,32 @@ register_system(SystemSpec(
     config=_config.comp_wf(name="comp_wf_hybrid", tier_lines=16),
     tags=("extension",),
 ))
+
+# Energy-aware encoding family (repro.energy): WIRE-style inversion and
+# restricted coset coding composed with the paper's systems.  Encoded
+# systems are excluded from the differential fuzz oracle's default set
+# (repro.validate.fuzz) -- the reference model does not model encoding.
+register_system(SystemSpec(
+    name="baseline_wire",
+    description="baseline + WIRE energy-weighted inversion coding",
+    config=_config.baseline(name="baseline_wire", encoding="wire"),
+    tags=("extension", "energy"),
+))
+register_system(SystemSpec(
+    name="comp_wf_wire",
+    description="Comp+WF + WIRE energy-weighted inversion coding",
+    config=_config.comp_wf(name="comp_wf_wire", encoding="wire"),
+    tags=("extension", "energy"),
+))
+register_system(SystemSpec(
+    name="comp_coset",
+    description="Comp + restricted coset coding through compression slack",
+    config=_config.comp(name="comp_coset", encoding="coset"),
+    tags=("extension", "energy"),
+))
+register_system(SystemSpec(
+    name="comp_wf_coset",
+    description="Comp+WF + restricted coset coding through compression slack",
+    config=_config.comp_wf(name="comp_wf_coset", encoding="coset"),
+    tags=("extension", "energy"),
+))

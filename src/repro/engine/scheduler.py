@@ -90,12 +90,14 @@ class BatchScheduler:
         """Whether this engine composition can schedule out of order.
 
         Mirrors ``step_batch``'s fallback conditions: invariant
-        checkers observe per-write state, and MLC arrays /
+        checkers observe per-write state, line encoders keep per-write
+        selector state the row kernel does not model, and MLC arrays /
         probabilistic fault modes have no vectorized row kernel.
         """
         memory = self.state.memory
         return (
             not self.pipeline.invariants
+            and self.state.encoder is None
             and hasattr(memory, "write_rows")
             and memory.fault_mode is FaultMode.STUCK_AT_LAST
         )

@@ -11,6 +11,8 @@ stage               mechanism
 ==================  ====================================================
 :class:`CompressStage`    best-of-BDI/FPC selection + Figure 8 heuristic
 :class:`PlacementStage`   window fit/slide (Figure 4) + intra-line WL
+:class:`EncodingStage`    WIRE / restricted-coset write-energy encoding
+                          (identity pass-through when encoding is off)
 :class:`ProgramStage`     differential write restricted to the window
 :class:`CorrectionStage`  ECP/SAFER/Aegis/SECDED feasibility, commit,
                           and FREE-p remap-to-spare
@@ -231,14 +233,72 @@ class PlacementStage(Stage):
         return f", slice [{rng.start}, {rng.stop})"
 
 
+class EncodingStage(Stage):
+    """Write-energy-reducing line encoding (WIRE / restricted coset).
+
+    Sits between placement and program: once the window is fixed, the
+    payload is laid into the *logical* line image and the encoder
+    re-chooses the coset selectors of the words the window fully
+    covers.  Because every transform is a per-word XOR involution,
+    words outside the window re-encode to exactly their stored cells,
+    so the program stage's update mask stays valid bit-for-bit -- with
+    no encoder (``config.encoding == "none"``) this stage is a plain
+    ``place_bytes`` and the write path is byte-identical to the
+    pre-encoding engine.  Owns the ``encoding_flag_set_flips`` /
+    ``encoding_flag_reset_flips`` / ``encoded_words`` counters.
+    """
+
+    name = "encoding"
+
+    def build_target(
+        self, physical: int, ctx: WriteContext, start: int, stored: np.ndarray
+    ) -> np.ndarray:
+        """The cell image to program for this write."""
+        state = self.state
+        encoder = state.encoder
+        if encoder is None:
+            return place_bytes(stored, ctx.payload, start)
+        logical = encoder.decode(physical, stored)
+        target_logical = place_bytes(logical, ctx.payload, start)
+        outcome = encoder.encode(
+            physical, stored, target_logical, start, ctx.size, ctx.compressed
+        )
+        stats = state.stats
+        stats.encoding_flag_set_flips += outcome.flag_set_flips
+        stats.encoding_flag_reset_flips += outcome.flag_reset_flips
+        stats.encoded_words += outcome.encoded_words
+        return outcome.target
+
+    def decode_read(self, physical: int, bits: np.ndarray) -> np.ndarray:
+        """Undo the line encoding on the read path (identity when off)."""
+        encoder = self.state.encoder
+        if encoder is None:
+            return bits
+        return encoder.decode(physical, bits)
+
+    def describe(self) -> str:
+        encoder = self.state.encoder
+        if encoder is None:
+            return "encoding: off (plain differential write)"
+        return f"encoding: {encoder.describe()}"
+
+
 class ProgramStage(Stage):
     """Issues the differential write restricted to the window.
 
     Owns the flip counters (``total_flips``, ``set_flips``,
-    ``reset_flips``).
+    ``reset_flips``); the cell image comes from the
+    :class:`EncodingStage` (a plain payload overlay when encoding is
+    off).
     """
 
     name = "program"
+
+    def __init__(
+        self, state: EngineState, encoding: "EncodingStage | None" = None
+    ) -> None:
+        super().__init__(state)
+        self.encoding = encoding or EncodingStage(state)
 
     def program(
         self, physical: int, ctx: WriteContext, start: int
@@ -246,7 +306,7 @@ class ProgramStage(Stage):
         """Write the payload at ``start``; returns (target bits, flips)."""
         state = self.state
         stored = state.memory.read_bits(physical)
-        target = place_bytes(stored, ctx.payload, start)
+        target = self.encoding.build_target(physical, ctx, start, stored)
         # A full-line window masks nothing; skip building/applying it.
         mask = window_mask(start, ctx.size) if ctx.size != LINE_BYTES else None
         outcome = state.memory.write(physical, target, update_mask=mask)
@@ -345,6 +405,7 @@ class CorrectionStage(Stage):
             state.repairs[physical] = {
                 int(position): int(target[position]) for position in positions
             }
+            state.stats.repair_commits += 1
         elif state.repairs[physical]:
             state.repairs[physical] = {}
 

@@ -62,6 +62,15 @@ class LifetimeResult:
     dead_blocks: int = 0
     death_fault_total: int = 0
     death_fault_blocks: int = 0
+    # -- energy extension (repro.energy) ---------------------------------
+    # Flag/selector cells programmed by the WIRE / restricted-coset
+    # encoders (all 0 when ``encoding == "none"`` or for records
+    # predating the energy model), plus the repair-state refresh count
+    # the gate-level correction-energy model multiplies.
+    encoding_flag_set_flips: int = 0
+    encoding_flag_reset_flips: int = 0
+    encoded_words: int = 0
+    repair_commits: int = 0
 
     @property
     def compression_cache_hit_rate(self) -> float:
@@ -98,6 +107,20 @@ class LifetimeResult:
         if not self.writes_issued:
             return 0.0
         return self.write_energy_pj(energy) / self.writes_issued
+
+    def energy_breakdown(self, scheme: str = "ecp6", model=None):
+        """Full per-operation energy split (see :mod:`repro.energy`).
+
+        Prices array cells, encoding flag cells, and the correction
+        scheme's write-path logic; ``scheme`` should be the run's
+        ``correction_scheme``.  Returns an
+        :class:`~repro.energy.model.EnergyBreakdown`.
+        """
+        # Deferred import: repro.energy imports this module's package.
+        from ..energy.model import EnergyModel
+
+        model = model or EnergyModel()
+        return model.breakdown(self, scheme=scheme)
 
 
 def merge_results(results) -> LifetimeResult:
@@ -199,6 +222,14 @@ def merge_results(results) -> LifetimeResult:
         dead_blocks=dead_blocks,
         death_fault_total=fault_total,
         death_fault_blocks=fault_blocks,
+        encoding_flag_set_flips=sum(
+            r.encoding_flag_set_flips for r in results
+        ),
+        encoding_flag_reset_flips=sum(
+            r.encoding_flag_reset_flips for r in results
+        ),
+        encoded_words=sum(r.encoded_words for r in results),
+        repair_commits=sum(r.repair_commits for r in results),
     )
 
 

@@ -389,6 +389,10 @@ class LifetimeSimulator:
             dead_blocks=controller.engine.dead_count,
             death_fault_total=sum(controller.death_fault_counts.values()),
             death_fault_blocks=len(controller.death_fault_counts),
+            encoding_flag_set_flips=stats.encoding_flag_set_flips,
+            encoding_flag_reset_flips=stats.encoding_flag_reset_flips,
+            encoded_words=stats.encoded_words,
+            repair_commits=stats.repair_commits,
         )
         for observer in observers:
             observer.on_run_end(result)

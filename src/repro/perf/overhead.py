@@ -25,13 +25,20 @@ class ReadMix:
     uncompressed: float
     bdi: float
     fpc: float
+    #: Reads stored by a compressor the latency model has no dedicated
+    #: timing for (e.g. CPack/FVC members of a custom BestOfCompressor);
+    #: charged conservatively at the slowest modelled decompressor.
+    other: float = 0.0
 
     def __post_init__(self) -> None:
-        total = self.uncompressed + self.bdi + self.fpc
+        fractions = (self.uncompressed, self.bdi, self.fpc, self.other)
+        # Sign check first: negative fractions can still sum to 1.0, and
+        # even when they don't, the sum message would mask the real defect.
+        if min(fractions) < 0:
+            raise ValueError("read mix fractions cannot be negative")
+        total = sum(fractions)
         if abs(total - 1.0) > 1e-6:
             raise ValueError(f"read mix must sum to 1, got {total}")
-        if min(self.uncompressed, self.bdi, self.fpc) < 0:
-            raise ValueError("read mix fractions cannot be negative")
 
 
 def measure_read_mix(
@@ -46,19 +53,24 @@ def measure_read_mix(
     Reads hit whatever format the last write stored, so sampling the
     write stream's winning compressor approximates the read mix.
     """
+    if samples < 1:
+        raise ValueError(f"samples must be >= 1, got {samples}")
     compressor = compressor or BestOfCompressor()
     generator = SyntheticWorkload(profile, n_lines=n_lines, seed=seed)
-    counts = {"uncompressed": 0, "bdi": 0, "fpc": 0}
+    counts = {"uncompressed": 0, "bdi": 0, "fpc": 0, "other": 0}
     for write in generator.iter_writes(samples):
         result = compressor.compress(write.data)
         if result.size_bytes >= 64:
             counts["uncompressed"] += 1
-        else:
+        elif result.algorithm in counts:
             counts[result.algorithm] += 1
+        else:
+            counts["other"] += 1
     return ReadMix(
         uncompressed=counts["uncompressed"] / samples,
         bdi=counts["bdi"] / samples,
         fpc=counts["fpc"] / samples,
+        other=counts["other"] / samples,
     )
 
 
@@ -82,7 +94,15 @@ class PerformanceModel:
         plain = self.latency.read_latency(None).total_ns
         bdi = self.latency.read_latency("bdi").total_ns
         fpc = self.latency.read_latency("fpc").total_ns
-        return mix.uncompressed * plain + mix.bdi * bdi + mix.fpc * fpc
+        # Formats without dedicated timing are priced at the slowest
+        # modelled decompressor: an upper bound, never an undercharge.
+        other = max(bdi, fpc)
+        return (
+            mix.uncompressed * plain
+            + mix.bdi * bdi
+            + mix.fpc * fpc
+            + mix.other * other
+        )
 
     def read_latency_overhead(self, mix: ReadMix) -> float:
         """Fractional mean-read-latency increase over no compression."""

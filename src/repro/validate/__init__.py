@@ -23,6 +23,7 @@ from .invariants import (
     DeadCountConsistent,
     DeadSetMonotone,
     FaultMaskConsistent,
+    FlipWearConservation,
     InvariantViolation,
     StatsConservation,
     WindowWithinLine,
@@ -44,6 +45,7 @@ __all__ = [
     "DeadSetMonotone",
     "DivergenceError",
     "FaultMaskConsistent",
+    "FlipWearConservation",
     "FuzzReport",
     "InvariantViolation",
     "ReferenceModel",

@@ -17,7 +17,10 @@ bug, never a workload property:
   matches the dead mask;
 * :class:`FaultMaskConsistent` -- the incrementally maintained fault
   mask matches ``counts >= endurance`` recomputed from scratch on the
-  written line.
+  written line;
+* :class:`FlipWearConservation` -- every flip the stats counted wore
+  exactly one cell: ``total_flips`` equals the wear-count total, even
+  across compression rescues, retries, and spare-block remaps.
 
 :func:`default_invariants` builds one of each.  The checkers are pure
 observers: they never mutate engine state, so enabling them cannot
@@ -167,6 +170,35 @@ class FaultMaskConsistent:
                 )
 
 
+class FlipWearConservation:
+    """Counted flips and accumulated cell wear agree exactly.
+
+    The program path increments ``stats.total_flips`` once per
+    programmed cell and the bank increments that cell's wear count once
+    per program, so the two totals must stay equal write after write --
+    including writes that retried after a compression rescue or landed
+    on a remapped spare, where a bug could easily price the same cell
+    twice (or drop the second attempt's wear).  This is the energy
+    model's ground truth: ``set/reset_flips`` feed picojoule pricing,
+    so a double-count here silently inflates every energy figure.
+    """
+
+    name = "flip-wear-conservation"
+
+    def after_write(self, state, result) -> None:
+        memory = state.memory
+        counts = getattr(memory, "counts", None)
+        faulty = getattr(memory, "faulty", None)
+        if counts is None or faulty is None or counts.shape != faulty.shape:
+            return  # cell-granular stores (MLC) wear per cell pair
+        worn = int(counts.sum())
+        if state.stats.total_flips != worn:
+            raise InvariantViolation(
+                f"{self.name}: stats counted {state.stats.total_flips} flips "
+                f"but the array accumulated {worn} cell programs"
+            )
+
+
 def default_invariants() -> tuple:
     """One instance of every checker, in documentation order."""
     return (
@@ -175,6 +207,7 @@ def default_invariants() -> tuple:
         DeadSetMonotone(),
         DeadCountConsistent(),
         FaultMaskConsistent(),
+        FlipWearConservation(),
     )
 
 

@@ -1,0 +1,173 @@
+"""Property tests for the WIRE / restricted-coset line encoders."""
+
+import numpy as np
+import pytest
+
+from repro.core import LINE_BYTES
+from repro.energy import (
+    CosetEncoder,
+    LineEncoder,
+    WireEncoder,
+    make_encoder,
+)
+from repro.pcm import PCMEnergy
+from repro.pcm.block import bits_to_bytes, bytes_to_bits
+
+
+def random_bits(rng):
+    return rng.integers(0, 2, size=LINE_BYTES * 8, dtype=np.uint8)
+
+
+class TestConstruction:
+    def test_make_encoder_dispatch(self):
+        assert make_encoder("none", 8) is None
+        assert isinstance(make_encoder("wire", 8), WireEncoder)
+        assert isinstance(make_encoder("coset", 8), CosetEncoder)
+        with pytest.raises(ValueError, match="unknown encoding"):
+            make_encoder("gray", 8)
+
+    def test_transform_zero_must_be_identity(self):
+        with pytest.raises(ValueError, match="identity"):
+            LineEncoder(4, transforms=("invert", "identity"))
+
+    def test_word_size_must_divide_the_line(self):
+        with pytest.raises(ValueError, match="word size"):
+            LineEncoder(4, word_bits=33)
+
+    def test_selector_overhead(self):
+        assert WireEncoder(4).overhead_bits_per_line == 16  # 16 words x 1b
+        assert CosetEncoder(4).overhead_bits_per_line == 32  # 16 words x 2b
+        identity = WireEncoder(4, transforms=("identity",))
+        assert identity.overhead_bits_per_line == 0
+
+
+@pytest.mark.parametrize("encoder_cls", [WireEncoder, CosetEncoder])
+class TestInvolutionProperties:
+    def test_full_line_round_trip(self, encoder_cls):
+        rng = np.random.default_rng(0)
+        encoder = encoder_cls(4)
+        stored = np.zeros(LINE_BYTES * 8, dtype=np.uint8)
+        for step in range(50):
+            logical = random_bits(rng)
+            outcome = encoder.encode(
+                2, stored, logical, 0, LINE_BYTES, compressed=True
+            )
+            assert np.array_equal(encoder.decode(2, outcome.target), logical)
+            stored = outcome.target
+
+    def test_windowed_write_leaves_out_of_window_cells_stored(self, encoder_cls):
+        # The involution safety property: words not fully inside the
+        # window re-encode to exactly their stored cells, so the
+        # program stage's update mask masks nothing that changed.
+        rng = np.random.default_rng(1)
+        encoder = encoder_cls(4)
+        stored = random_bits(rng)
+        encoder.flags[1] = rng.integers(
+            0, len(encoder.transforms), size=encoder.n_words, dtype=np.uint8
+        )
+        logical = encoder.decode(1, stored)
+        for start, size in [(5, 11), (0, 32), (40, 24), (63, 1)]:
+            target_logical = logical.copy()
+            window = slice(start * 8, (start + size) * 8)
+            target_logical[window] = rng.integers(
+                0, 2, size=size * 8, dtype=np.uint8
+            )
+            outcome = encoder.encode(
+                1, stored, target_logical, start, size, compressed=True
+            )
+            outside = np.ones(LINE_BYTES * 8, dtype=bool)
+            outside[window] = False
+            assert np.array_equal(
+                outcome.target[outside], stored[outside]
+            ), f"window ({start}, {size}) leaked outside itself"
+            # Undo the state change for the next window.
+            logical = encoder.decode(1, outcome.target)
+            stored = outcome.target
+
+    def test_identity_parameters_are_a_pure_pass_through(self, encoder_cls):
+        rng = np.random.default_rng(2)
+        encoder = encoder_cls(4, transforms=("identity",))
+        stored = random_bits(rng)
+        logical = random_bits(rng)
+        outcome = encoder.encode(
+            0, stored, logical, 0, LINE_BYTES, compressed=True
+        )
+        assert np.array_equal(outcome.target, logical)
+        assert outcome.flag_set_flips == 0
+        assert outcome.flag_reset_flips == 0
+        assert outcome.encoded_words == 0
+
+
+class TestEnergyObjective:
+    def _write_energy(self, stored, target, energy):
+        sets = int(((target == 1) & (stored == 0)).sum())
+        resets = int(((target == 0) & (stored == 1)).sum())
+        return energy.write_energy_pj(sets, resets)
+
+    @pytest.mark.parametrize("encoder_cls", [WireEncoder, CosetEncoder])
+    def test_never_costs_more_than_storing_plain(self, encoder_cls):
+        # Identity is always a candidate coset, so the chosen image
+        # (data cells + flag cells) can never exceed the plain image's
+        # array cost against the same stored state.
+        rng = np.random.default_rng(3)
+        energy = PCMEnergy()
+        encoder = encoder_cls(2, energy=energy)
+        stored = np.zeros(LINE_BYTES * 8, dtype=np.uint8)
+        for _ in range(100):
+            logical = random_bits(rng)
+            plain_cost = self._write_energy(stored, logical, energy)
+            outcome = encoder.encode(
+                0, stored, logical, 0, LINE_BYTES, compressed=True
+            )
+            encoded_cost = self._write_energy(stored, outcome.target, energy)
+            encoded_cost += energy.write_energy_pj(
+                outcome.flag_set_flips, outcome.flag_reset_flips
+            )
+            assert encoded_cost <= plain_cost + 1e-9
+            stored = outcome.target
+
+    def test_wire_inverts_an_expensive_word(self):
+        # All-zero stored cells, all-ones logical word: storing plain
+        # costs 32 SET pulses, storing inverted costs 1 flag SET.
+        encoder = WireEncoder(1)
+        stored = np.zeros(LINE_BYTES * 8, dtype=np.uint8)
+        logical = np.zeros(LINE_BYTES * 8, dtype=np.uint8)
+        logical[: 32] = 1
+        outcome = encoder.encode(
+            0, stored, logical, 0, LINE_BYTES, compressed=True
+        )
+        assert encoder.flags[0, 0] == 1  # word 0 stored complemented
+        assert outcome.target[:32].sum() == 0  # no data SET pulses
+        assert outcome.encoded_words == 1
+
+    def test_restriction_forces_identity_on_uncompressed_writes(self):
+        encoder = CosetEncoder(1)
+        stored = np.zeros(LINE_BYTES * 8, dtype=np.uint8)
+        logical = np.ones(LINE_BYTES * 8, dtype=np.uint8)
+        outcome = encoder.encode(
+            0, stored, logical, 0, LINE_BYTES, compressed=False
+        )
+        assert not encoder.flags[0].any()
+        assert np.array_equal(outcome.target, logical)
+        assert outcome.encoded_words == 0
+        # The same write compressed *does* spend slack on selectors.
+        outcome = encoder.encode(
+            0, stored, logical, 0, LINE_BYTES, compressed=True
+        )
+        assert encoder.flags[0].all()
+
+    def test_ties_break_toward_identity(self):
+        # A logical word equal to its stored cells costs 0 either way
+        # it is already stored; argmin's first-minimum rule must keep
+        # the identity selector (bit-identity rail for quiet words).
+        encoder = WireEncoder(1)
+        stored = np.zeros(LINE_BYTES * 8, dtype=np.uint8)
+        logical = np.zeros(LINE_BYTES * 8, dtype=np.uint8)
+        encoder.encode(0, stored, logical, 0, LINE_BYTES, compressed=True)
+        assert not encoder.flags[0].any()
+
+
+class TestBitHelpers:
+    def test_bytes_bits_round_trip(self):
+        data = bytes(range(64))
+        assert bits_to_bytes(bytes_to_bits(data)) == data

@@ -7,6 +7,7 @@ from repro.core import LINE_BYTES, CompressedPCMController, make_config
 from repro.engine import (
     CompressStage,
     CorrectionStage,
+    EncodingStage,
     PlacementStage,
     ProgramStage,
     RemapStage,
@@ -35,7 +36,7 @@ class TestPipelineComposition:
         pipeline = build_controller().pipeline
         kinds = [type(stage) for stage in pipeline.stages]
         assert kinds == [
-            CompressStage, PlacementStage, ProgramStage,
+            CompressStage, PlacementStage, EncodingStage, ProgramStage,
             CorrectionStage, RemapStage,
         ]
 

@@ -1,0 +1,94 @@
+"""Regression tests for the read-mix seams feeding the energy model.
+
+Two latent bugs (PR 9's bugfix sweep), pinned failing-first:
+
+* ``measure_read_mix`` raised ``KeyError`` when the winning compressor
+  was neither BDI nor FPC (any custom ``BestOfCompressor`` membership,
+  e.g. CPack/FVC) and ``ZeroDivisionError`` at ``samples=0``;
+* ``ReadMix.__post_init__`` ran the sum check before the sign check,
+  so invalid negative fractions were reported as (or masked by) a sum
+  error instead of the sign error.
+"""
+
+import pytest
+
+from repro.compression import BestOfCompressor
+from repro.compression.bdi import BDICompressor
+from repro.compression.cpack import CPackCompressor
+from repro.compression.fpc import FPCCompressor
+from repro.perf import PerformanceModel, ReadMix, measure_read_mix
+from repro.traces import get_profile
+
+
+class TestMeasureReadMixUnknownAlgorithms:
+    def test_cpack_winner_buckets_as_other(self):
+        # CPack first in member order wins ties, so a compressible
+        # profile routinely produces algorithm="cpack" results --
+        # which used to KeyError out of the bdi/fpc counts dict.
+        compressor = BestOfCompressor(
+            (CPackCompressor(), BDICompressor(), FPCCompressor())
+        )
+        mix = measure_read_mix(
+            get_profile("milc"), samples=200, seed=0, compressor=compressor
+        )
+        assert mix.other > 0
+        total = mix.uncompressed + mix.bdi + mix.fpc + mix.other
+        assert total == pytest.approx(1.0)
+
+    def test_default_members_leave_other_empty(self):
+        mix = measure_read_mix(get_profile("milc"), samples=200, seed=0)
+        assert mix.other == 0.0
+
+    @pytest.mark.parametrize("samples", [0, -1])
+    def test_non_positive_samples_rejected(self, samples):
+        with pytest.raises(ValueError, match="samples"):
+            measure_read_mix(get_profile("milc"), samples=samples)
+
+
+class TestReadMixValidationOrder:
+    def test_negative_fraction_reported_as_sign_error_even_off_sum(self):
+        # Sum is 0.8: both checks are violated, and the sign error must
+        # win -- the sum message would mask the real defect.
+        with pytest.raises(ValueError, match="negative"):
+            ReadMix(uncompressed=-0.2, bdi=0.5, fpc=0.5)
+
+    def test_negative_fraction_summing_to_one_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            ReadMix(uncompressed=1.2, bdi=-0.2, fpc=0.0)
+
+    def test_negative_other_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            ReadMix(uncompressed=1.1, bdi=0.0, fpc=0.0, other=-0.1)
+
+    def test_sum_within_tolerance_accepted(self):
+        ReadMix(uncompressed=0.5 + 5e-7, bdi=0.5, fpc=0.0)
+
+    def test_sum_just_past_tolerance_rejected(self):
+        with pytest.raises(ValueError, match="sum"):
+            ReadMix(uncompressed=0.5 + 2e-6, bdi=0.5, fpc=0.0)
+
+    def test_sum_just_under_tolerance_rejected(self):
+        with pytest.raises(ValueError, match="sum"):
+            ReadMix(uncompressed=0.5 - 2e-6, bdi=0.5, fpc=0.0)
+
+
+class TestOtherBucketLatency:
+    def test_other_charged_at_slowest_known_decompressor(self):
+        model = PerformanceModel()
+        as_other = model.average_read_latency_ns(
+            ReadMix(uncompressed=0.5, bdi=0.0, fpc=0.0, other=0.5)
+        )
+        as_fpc = model.average_read_latency_ns(
+            ReadMix(uncompressed=0.5, bdi=0.0, fpc=0.5)
+        )
+        as_bdi = model.average_read_latency_ns(
+            ReadMix(uncompressed=0.5, bdi=0.5, fpc=0.0)
+        )
+        # Conservative bucketing: unknown algorithms cost as much as
+        # the slowest modelled decompressor (FPC), never less.
+        assert as_other == pytest.approx(max(as_fpc, as_bdi))
+
+    def test_overhead_positive_for_other_only_mix(self):
+        model = PerformanceModel()
+        mix = ReadMix(uncompressed=0.0, bdi=0.0, fpc=0.0, other=1.0)
+        assert model.read_latency_overhead(mix) > 0

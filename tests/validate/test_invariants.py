@@ -10,6 +10,7 @@ from repro.lifetime import LifetimeSimulator
 from repro.pcm import EnduranceModel
 from repro.traces import SyntheticWorkload, get_profile
 from repro.validate import (
+    FlipWearConservation,
     InvariantViolation,
     StatsConservation,
     WindowWithinLine,
@@ -83,6 +84,52 @@ class TestInvariantHooks:
                 physical=controller.pipeline.remap.map_logical(0),
                 compressed=False, size_bytes=64, window_start=0,
                 **committed))
+
+
+class TestFlipWearConservation:
+    """Energy accounting ground truth: flips counted == cells worn.
+
+    The rescue (compression fallback after a failed uncompressed
+    attempt) and spare-remap paths re-enter the program stage for the
+    same demand write; these runs pin down that neither path prices a
+    cell twice nor drops an attempt's wear.
+    """
+
+    def test_holds_across_rescue_and_remap_churn(self):
+        config = get_system("comp_wf_freep").configured(
+            correction_scheme="ecp6"
+        )
+        controller = CompressedPCMController(
+            config, 32, EnduranceModel(mean=16.0, cov=0.2),
+            np.random.default_rng(3), n_banks=4,
+            invariants=(FlipWearConservation(),),
+        )
+        _drive(controller, writes=600, seed=11)
+        # The run must actually have exercised the risky paths.
+        assert controller.stats.remaps > 0
+        assert controller.stats.deaths > 0
+        assert controller.stats.total_flips == controller.memory.counts.sum()
+
+    def test_holds_with_a_line_encoder_attached(self):
+        # Encoder flag cells live outside the array, so attaching one
+        # must not perturb the array-side conservation law.
+        config = get_system("comp_wf_wire").configured(
+            correction_scheme="ecp6"
+        )
+        controller = CompressedPCMController(
+            config, 16, EnduranceModel(mean=24.0, cov=0.2),
+            np.random.default_rng(5), n_banks=4,
+            invariants=(FlipWearConservation(),),
+        )
+        _drive(controller, writes=300, seed=13)
+        assert controller.stats.encoding_flag_set_flips > 0
+
+    def test_trips_on_double_counted_flip(self):
+        controller = _controller(invariants=(FlipWearConservation(),))
+        controller.write(0, bytes(range(64)))
+        controller.stats.total_flips += 1  # simulate a double-count
+        with pytest.raises(InvariantViolation, match="flip-wear-conservation"):
+            controller.write(1, bytes(range(64)))
 
 
 class TestCheckpointRoundtrip:
