@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""WoLFRaM wear-leveling-backend smoke check for CI.
+
+Gates the two safety rails the ``wl_backend`` knob must never lose, on
+short deterministic runs:
+
+1. **Default-backend identity** -- with ``wl_backend="startgap_freep"``
+   (the default) the four evaluated systems must still replay the
+   frozen golden trace to their exact SHA-256 ``WriteResult`` digests.
+   This is what proves the backend seam (movement ``destinations``
+   loops, stage injection, remapper selection) left the paper's
+   configuration bit-for-bit untouched.
+2. **WoLFRaM lockstep fuzz** -- differential campaigns with
+   ``--wl-backend wolfram`` force every selected system onto the PAD
+   backend and compare the fast pipeline write-for-write against the
+   reference model's independent loop-based PAD re-derivation
+   (``_RefWolframPAD`` / ``_RefPadRemapper``), across several seeds.
+
+Usage::
+
+    python scripts/wolfram_smoke_check.py [--writes N] [--seeds N]
+
+Exit status 0 when every gate holds, 1 otherwise.  The CI job follows
+this script with the backend-comparison benchmark
+(``benchmarks/test_wolfram_backend.py``) at smoke scale and uploads
+the recorded ``BENCH_wolfram.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import EVALUATED_SYSTEMS, CompressedPCMController, make_config  # noqa: E402
+from repro.pcm import EnduranceModel  # noqa: E402
+from repro.traces import SyntheticWorkload, get_profile  # noqa: E402
+from repro.validate.fuzz import run_fuzz  # noqa: E402
+
+GOLDEN_FIXTURE = REPO_ROOT / "tests" / "golden" / "golden_trace.json"
+
+#: Systems for the WoLFRaM lockstep campaigns: the full design, the
+#: spare-pool variant (PAD remap traffic), and the plain baseline.
+FUZZ_SYSTEMS = ("comp_wf", "comp_wf_freep", "baseline")
+
+
+def check_golden_identity() -> bool:
+    """Replay the golden trace on the default backend; compare digests."""
+    golden = json.loads(GOLDEN_FIXTURE.read_text())
+    trace = golden["trace"]
+    ok = True
+    for system in EVALUATED_SYSTEMS:
+        config = make_config(system, intra_counter_limit=64)
+        assert config.wl_backend == "startgap_freep"
+        workload = SyntheticWorkload(
+            get_profile(trace["workload"]),
+            n_lines=trace["n_lines"], seed=trace["seed"],
+        )
+        controller = CompressedPCMController(
+            config=config,
+            n_lines=trace["n_lines"],
+            endurance_model=EnduranceModel(
+                mean=trace["endurance_mean"], cov=trace["endurance_cov"]
+            ),
+            rng=np.random.default_rng(trace["seed"] + 1),
+        )
+        digest = hashlib.sha256()
+        for write in workload.iter_writes(trace["writes"]):
+            result = controller.write(write.line, write.data)
+            row = [
+                result.physical, int(result.compressed), result.size_bytes,
+                result.window_start, result.flips, int(result.died),
+                int(result.revived), int(result.lost), result.heuristic_step,
+            ]
+            digest.update(json.dumps(row).encode())
+        expected = golden["systems"][system]["write_results_sha256"]
+        if digest.hexdigest() == expected:
+            print(f"  golden identity: {system:12} OK")
+        else:
+            print(f"  golden identity: {system:12} DIGEST MISMATCH")
+            ok = False
+    return ok
+
+
+def check_wolfram_lockstep(writes: int, seeds: int) -> bool:
+    """Differential fuzz with every campaign forced onto the PAD backend."""
+    ok = True
+    for seed in range(seeds):
+        report = run_fuzz(
+            systems=FUZZ_SYSTEMS,
+            writes=writes,
+            seed=seed,
+            wl_backend="wolfram",
+        )
+        ran = [c for c in report.campaigns if not c.skipped]
+        print(
+            f"  wolfram lockstep: seed {seed}: {len(ran)} campaigns, "
+            f"{sum(c.writes_run for c in ran)} writes, "
+            f"{len(report.failures)} divergences"
+        )
+        for campaign in report.failures:
+            print(f"    DIVERGED {campaign.system}/{campaign.scheme}:")
+            print(f"    {campaign.divergence}")
+            ok = False
+    return ok
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--writes", type=int, default=2000,
+                        help="writes per lockstep campaign (default 2000)")
+    parser.add_argument("--seeds", type=int, default=3,
+                        help="independent campaign seeds (default 3)")
+    args = parser.parse_args()
+
+    print("gate 1: golden-digest identity on the default backend")
+    golden_ok = check_golden_identity()
+    print("gate 2: WoLFRaM PAD lockstep fuzz")
+    lockstep_ok = check_wolfram_lockstep(args.writes, args.seeds)
+
+    if golden_ok and lockstep_ok:
+        print("wolfram smoke check: all gates hold")
+        return 0
+    print("wolfram smoke check: FAILED")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

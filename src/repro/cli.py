@@ -240,6 +240,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="front each lockstep pair with a DRAM tier of "
                       "this capacity, validating the post-tier PCM stream "
                       "(default: 0 = no tier)")
+    fuzz.add_argument("--wl-backend", dest="wl_backend", default=None,
+                      choices=("startgap_freep", "wolfram"),
+                      help="force every campaign onto this wear-leveling "
+                      "backend (default: each system's own configured "
+                      "backend)")
 
     serve = subparsers.add_parser(
         "serve", help="sharded multi-process PCM memory service"
@@ -559,6 +564,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         shrink=not args.no_shrink, progress=progress,
         shards=args.shards, batch=args.batch,
         tier_lines=args.tier_lines,
+        wl_backend=args.wl_backend,
     )
     ran = [c for c in report.campaigns if not c.skipped]
     print(f"\n{len(ran)} campaigns, {sum(c.writes_run for c in ran)} writes, "
@@ -571,6 +577,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             "endurance_mean": args.endurance, "endurance_cov": args.cov,
             "shards": args.shards, "batch": args.batch,
             "tier_lines": args.tier_lines,
+            "wl_backend": args.wl_backend,
             "systems": list(args.systems or system_names()),
             "schemes": [normalize_scheme(s) for s in args.schemes],
         })

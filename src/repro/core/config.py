@@ -65,6 +65,17 @@ class SystemConfig:
     #: inversion; ``"coset"`` adds restricted coset coding through the
     #: compression slack (requires compression).
     encoding: str = "none"
+    #: Inter-line wear-leveling / fault-remap backend.
+    #: ``"startgap_freep"`` (the paper's substrate) rotates a gap line
+    #: through the array and retires dead lines through FREE-p pointer
+    #: chains; ``"wolfram"`` replaces both with a WoLFRaM-style
+    #: programmable address decoder (:mod:`repro.wearleveling.wolfram`)
+    #: that swaps a written line's physical slot with a rotating partner
+    #: every ``start_gap_psi`` writes and remaps dead lines to spares by
+    #: rewriting the decoder table (no in-line pointer storage needed).
+    #: Every other stage (compress / encoding / program / correction)
+    #: is backend-agnostic and unchanged.
+    wl_backend: str = "startgap_freep"
 
     def __post_init__(self) -> None:
         if self.threshold1 < 1 or self.threshold1 > 64:
@@ -87,6 +98,17 @@ class SystemConfig:
             raise ValueError(
                 f"encoding must be 'none', 'wire' or 'coset', "
                 f"got {self.encoding!r}"
+            )
+        if self.wl_backend not in ("startgap_freep", "wolfram"):
+            raise ValueError(
+                f"wl_backend must be 'startgap_freep' or 'wolfram', "
+                f"got {self.wl_backend!r}"
+            )
+        if self.wl_backend == "wolfram" and self.start_gap_regions > 1:
+            raise ValueError(
+                "start_gap_regions is a Start-Gap scaling mechanism; the "
+                "WoLFRaM PAD table is already region-free -- use "
+                "start_gap_regions=1 with wl_backend='wolfram'"
             )
         if self.encoding == "coset" and not self.use_compression:
             raise ValueError(

@@ -41,9 +41,16 @@ from ..engine.address_space import AddressRange
 from ..engine.context import ControllerStats, EngineState, WriteResult
 from ..engine.pipeline import WritePipeline
 from ..engine.scheduler import BatchScheduler
+from ..engine.stages import WolframPlacementStage, WolframRemapStage
 from ..pcm import PCMBankArray, EnduranceModel, FaultMode
 from ..pcm.mlc import MLCBankArray
-from ..wearleveling import IntraLineWearLeveler, RegionStartGap, StartGap
+from ..wearleveling import (
+    IntraLineWearLeveler,
+    PadSpareRemapper,
+    RegionStartGap,
+    StartGap,
+    WolframPAD,
+)
 from .config import SystemConfig
 from .heuristic import BitFlipHeuristic
 from .metadata import LineMetadata
@@ -90,7 +97,14 @@ class CompressedPCMController:
         #: bit-identical to an independent controller of the same size.
         self.address_range = address_range
 
-        if config.start_gap_regions > 1:
+        # The wear-leveling / fault-remap backend (``wl_backend``):
+        # Start-Gap + FREE-p (the paper's substrate, default) or the
+        # WoLFRaM programmable address decoder.  ``getattr`` keeps
+        # configs pickled before the knob existed loading cleanly.
+        wl_backend = getattr(config, "wl_backend", "startgap_freep")
+        if wl_backend == "wolfram":
+            start_gap = WolframPAD(n_lines, period=config.start_gap_psi)
+        elif config.start_gap_regions > 1:
             start_gap = RegionStartGap(
                 n_lines, psi=config.start_gap_psi,
                 regions=config.start_gap_regions,
@@ -101,14 +115,19 @@ class CompressedPCMController:
         base_physical = start_gap.physical_lines
         spare_count = int(base_physical * config.spare_line_fraction)
         physical = base_physical + spare_count
-        remapper = (
-            FreePRemapper(
+        if not spare_count:
+            remapper = None
+        elif wl_backend == "wolfram":
+            # PAD remap-to-spare: the redirect lives in the decoder
+            # table, so no pointer capacity in the dead line is needed.
+            remapper = PadSpareRemapper(
+                spare_lines=list(range(base_physical, physical))
+            )
+        else:
+            remapper = FreePRemapper(
                 spare_lines=list(range(base_physical, physical)),
                 pointer_bits=max(1, (physical - 1).bit_length()),
             )
-            if spare_count
-            else None
-        )
         array_cls = PCMBankArray if cell_type == "slc" else MLCBankArray
         engine_compressor = compressor or BestOfCompressor()
         if config.use_compression and config.compression_cache_lines:
@@ -157,9 +176,27 @@ class CompressedPCMController:
             from ..energy.encoders import make_encoder
 
             self.engine.encoder = make_encoder(config.encoding, physical)
+        # PAD components mirror their table rewrites into the priced
+        # ``pad_table_writes`` counter (shared object: pickle keeps the
+        # reference identity, so checkpoints stay consistent).
+        if wl_backend == "wolfram":
+            start_gap.bind_stats(self.engine.stats)
+            if remapper is not None:
+                remapper.bind_stats(self.engine.stats)
         # Debug-mode invariant checkers (repro.validate.invariants),
         # run by the pipeline after every write; empty by default.
-        self.pipeline = WritePipeline(self.engine, invariants=invariants)
+        self.pipeline = WritePipeline(
+            self.engine,
+            placement=(
+                WolframPlacementStage(self.engine)
+                if wl_backend == "wolfram" else None
+            ),
+            remap=(
+                WolframRemapStage(self.engine)
+                if wl_backend == "wolfram" else None
+            ),
+            invariants=invariants,
+        )
         self._shadow: dict[int, bytes] = {}
         # Out-of-order batch scheduler (stateless between calls; shares
         # the pipeline and the shadow store).
@@ -180,7 +217,7 @@ class CompressedPCMController:
         return self.engine.start_gap
 
     @property
-    def remapper(self) -> FreePRemapper | None:
+    def remapper(self) -> FreePRemapper | PadSpareRemapper | None:
         return self.engine.remapper
 
     @property
@@ -361,18 +398,26 @@ class CompressedPCMController:
         return self.pipeline.write_line(physical, data, revival_allowed)
 
     def _handle_gap_move(self, movement) -> None:
-        """Relocate the line Start-Gap moved; revival checkpoint (WF)."""
+        """Relocate the lines a placement perturbation displaced.
+
+        Backend-agnostic: ``movement.destinations`` lists every physical
+        slot whose logical owner changed -- one for a Start-Gap move,
+        two for a WoLFRaM PAD swap -- and each receives its *new*
+        owner's data.  These relocation writes are the revival
+        checkpoints of the Comp+WF design (``revival_allowed=True``).
+        """
         engine = self.engine
-        logical = engine.start_gap.logical_of(movement.destination)
-        if logical is None:
-            return
-        data = self._shadow.get(logical)
-        if data is None:
-            return  # the line was never written; nothing to relocate
-        engine.stats.gap_move_writes += 1
-        self.pipeline.write_line(
-            engine.resolve(movement.destination), data, revival_allowed=True
-        )
+        for destination in movement.destinations:
+            logical = engine.start_gap.logical_of(destination)
+            if logical is None:
+                continue  # the Start-Gap spare slot holds no line
+            data = self._shadow.get(logical)
+            if data is None:
+                continue  # the line was never written; nothing to relocate
+            engine.stats.gap_move_writes += 1
+            self.pipeline.write_line(
+                engine.resolve(destination), data, revival_allowed=True
+            )
 
     def _bank_of(self, physical: int) -> int:
         return self.engine.bank_of(physical)

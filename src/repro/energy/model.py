@@ -40,6 +40,15 @@ GATE_SWITCH_PJ = 0.001
 #: Energy of one flip-flop / register-bit update, picojoules.
 REGISTER_BIT_PJ = 0.002
 
+#: Width of one WoLFRaM programmable-address-decoder entry, bits.  A
+#: PAD entry holds a physical row index; 16 bits covers any bank this
+#: repo models (and matches the register granularity real decoders
+#: provision).  Each entry rewrite -- two per wear-triggered swap, one
+#: plus collapsed chain links per fault remap
+#: (``pad_table_writes`` in ControllerStats) -- is priced as
+#: ``PAD_ENTRY_BITS`` register-bit updates.
+PAD_ENTRY_BITS = 16
+
 
 @dataclass(frozen=True)
 class CorrectionEnergy:
@@ -117,6 +126,9 @@ class EnergyBreakdown:
     correction_commit_pj: float
     #: Demand writes the energy was spent over (0 when unknown).
     writes: int = 0
+    #: WoLFRaM PAD decoder-table rewrite energy (0.0 on the Start-Gap
+    #: backend and for records predating the field).
+    pad_table_pj: float = 0.0
 
     @property
     def array_pj(self) -> float:
@@ -136,7 +148,7 @@ class EnergyBreakdown:
     @property
     def total_pj(self) -> float:
         """Total write-path energy."""
-        return self.array_pj + self.flag_pj + self.correction_pj
+        return self.array_pj + self.flag_pj + self.correction_pj + self.pad_table_pj
 
     @property
     def per_write_pj(self) -> float:
@@ -152,6 +164,7 @@ class EnergyBreakdown:
             "flag_reset_pj": self.flag_reset_pj,
             "correction_check_pj": self.correction_check_pj,
             "correction_commit_pj": self.correction_commit_pj,
+            "pad_table_pj": self.pad_table_pj,
             "total_pj": self.total_pj,
             "writes": self.writes,
             "per_write_pj": self.per_write_pj,
@@ -200,4 +213,7 @@ class EnergyModel:
                 get("repair_commits") * correction.commit_pj(self.register_pj)
             ),
             writes=int(writes or 0),
+            pad_table_pj=(
+                get("pad_table_writes") * PAD_ENTRY_BITS * self.register_pj
+            ),
         )

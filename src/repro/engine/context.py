@@ -109,6 +109,15 @@ class ControllerStats:
     #: cells); the per-commit gate-energy multiplier in ``repro.energy``.
     repair_commits: int = 0
     remaps: int = 0  # FREE-p extension: blocks retired to spares
+    # -- WoLFRaM PAD backend (``config.wl_backend == "wolfram"``) --------
+    #
+    #: Programmable-address-decoder entries rewritten: 2 per
+    #: wear-leveling swap plus 1 per remap-to-spare redirect (and per
+    #: collapsed chain link).  Always 0 on the Start-Gap backend, so it
+    #: cannot perturb bit-identity of existing runs; the energy model
+    #: prices each rewrite as a register update
+    #: (:data:`repro.energy.model.PAD_ENTRY_BITS`).
+    pad_table_writes: int = 0
     # -- RemapStage (death / revival) ------------------------------------
     deaths: int = 0
     revivals: int = 0
@@ -245,7 +254,7 @@ class EngineState:
     scheme: CorrectionScheme
     compressor: BestOfCompressor
     memory: object  # PCMBankArray | MLCBankArray (duck-typed line store)
-    start_gap: object  # StartGap | RegionStartGap
+    start_gap: object  # StartGap | RegionStartGap | WolframPAD
     metadata: list[LineMetadata]
     dead: np.ndarray
     repairs: list[dict[int, int]]
@@ -255,6 +264,10 @@ class EngineState:
     capacity_lines: int
     heuristic: BitFlipHeuristic | None = None
     intra_wl: IntraLineWearLeveler | None = None
+    #: Remap-to-spare pool: a FREE-p pointer-chain remapper on the
+    #: default backend, a :class:`~repro.wearleveling.wolfram.
+    #: PadSpareRemapper` under ``wl_backend == "wolfram"`` (duck-typed:
+    #: both expose ``resolve`` / ``remap`` / ``spares_available``).
     remapper: FreePRemapper | None = None
     #: Write-energy-reducing line encoder (``repro.energy.encoders``),
     #: or ``None`` when ``config.encoding == "none"``.  Duck-typed to

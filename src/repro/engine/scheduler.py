@@ -6,10 +6,12 @@ though only the affected row actually depends on the earlier write.
 This module replaces those global flushes with per-row dependency
 edges: a single program-order scan partitions a request stream into
 *waves* -- maximal sets of writes to distinct physical rows -- chains
-each same-row collision to the next wave, schedules a gap move's
-relocation as an ordinary dependency-tracked op (only the gap slot and
-the relocated line are perturbed, see
-:meth:`~repro.wearleveling.start_gap.GapMovement.perturbed_lines`),
+each same-row collision to the next wave, schedules a placement
+perturbation's relocations as ordinary dependency-tracked ops (only
+the perturbed slots are affected -- one destination for a Start-Gap
+move, two for a WoLFRaM PAD swap; see
+:attr:`~repro.wearleveling.start_gap.GapMovement.destinations` and
+:attr:`~repro.wearleveling.wolfram.PadSwap.destinations`),
 and executes the waves back to back through the vectorized row kernel
 while committing results in original program order.
 
@@ -182,19 +184,23 @@ class BatchScheduler:
             else:
                 movement = on_demand_write(logical)
             if movement is not None:
-                # Relocate the line the gap move displaced.  Only the
-                # gap slot and this one line are perturbed; everything
-                # already scheduled keeps its resolved row, so no flush
-                # is needed unless the relocation itself is ineligible.
-                reloc_logical = start_gap.logical_of(movement.destination)
-                reloc_data = (
-                    None if reloc_logical is None
-                    else shadow.get(reloc_logical)
-                )
-                if reloc_data is not None:
+                # Relocate the line(s) the placement perturbation
+                # displaced -- one destination for a Start-Gap move, two
+                # for a WoLFRaM PAD swap.  Only the perturbed slots are
+                # affected; everything already scheduled keeps its
+                # resolved row, so no flush is needed unless a
+                # relocation itself is ineligible.
+                for destination in movement.destinations:
+                    reloc_logical = start_gap.logical_of(destination)
+                    reloc_data = (
+                        None if reloc_logical is None
+                        else shadow.get(reloc_logical)
+                    )
+                    if reloc_data is None:
+                        continue
                     stats.gap_move_writes += 1
                     issued += 1
-                    row = resolve(movement.destination)
+                    row = resolve(destination)
                     if dead_any and dead[row]:
                         if revival:
                             # Comp+WF revival checkpoint: the dead-block

@@ -22,7 +22,9 @@ stage               mechanism
 ==================  ====================================================
 
 The stage boundaries are exactly the seams the related designs swap:
-WoLFRaM replaces the remap/correction pair, CARAM the compress stage.
+WoLFRaM replaces the remap/correction pair (see
+:class:`WolframPlacementStage` / :class:`WolframRemapStage`, selected
+by ``config.wl_backend``), CARAM the compress stage.
 """
 
 from __future__ import annotations
@@ -423,9 +425,12 @@ class CorrectionStage(Stage):
 
     def describe(self) -> str:
         config = self.state.config
+        # Under the WoLFRaM backend the spare pool is a PAD mechanism
+        # (named by WolframRemapStage.describe), not FREE-p.
         freep = (
             f" + FREE-p spares ({config.spare_line_fraction:.0%})"
             if config.spare_line_fraction
+            and getattr(config, "wl_backend", "startgap_freep") != "wolfram"
             else ""
         )
         return f"correction: {self.state.scheme.name}{freep}"
@@ -522,3 +527,57 @@ class RemapStage(Stage):
         rng = self.state.address_range
         shard = "" if rng is None else f", slice [{rng.start}, {rng.stop})"
         return f"remap: {gap} (psi={config.start_gap_psi}), {revival}{shard}"
+
+
+class WolframPlacementStage(PlacementStage):
+    """Placement under the WoLFRaM PAD backend.
+
+    Window search and intra-line rotation are physical-slot mechanisms,
+    so they carry over from :class:`PlacementStage` unchanged -- the PAD
+    only permutes *which* slot a logical line occupies, exactly as
+    Start-Gap does.  The subclass exists so the stage listing names the
+    backend and so backend-specific placement policy has a seam to land
+    in without touching the Start-Gap path.
+    """
+
+    name = "placement"
+
+    def describe(self) -> str:
+        return f"{super().describe()}, PAD-permuted rows"
+
+
+class WolframRemapStage(RemapStage):
+    """WoLFRaM PAD address permutation and the dead-block life cycle.
+
+    Drives a :class:`~repro.wearleveling.wolfram.WolframPAD` through the
+    same duck-typed surface :class:`RemapStage` uses for Start-Gap
+    (``map`` / ``on_write`` / ``logical_of``); a reported
+    :class:`~repro.wearleveling.wolfram.PadSwap` carries *two*
+    relocation destinations where a gap move carries one, which the
+    facade's ``movement.destinations`` loop absorbs.  Dead-block
+    gating, revival (at swap checkpoints -- the backend's analogue of
+    gap-move checkpoints), and the fallback-to-compressed rescue are
+    mapping-independent and inherited unchanged.
+    """
+
+    name = "remap"
+
+    def describe(self) -> str:
+        config = self.state.config
+        state = self.state
+        spares = (
+            f", PAD spare remap ({config.spare_line_fraction:.0%})"
+            if state.remapper is not None
+            else ""
+        )
+        revival = (
+            "revival at swap checkpoints"
+            if config.use_dead_block_revival
+            else "no revival"
+        )
+        rng = state.address_range
+        shard = "" if rng is None else f", slice [{rng.start}, {rng.stop})"
+        return (
+            f"remap: WoLFRaM PAD (swap period={config.start_gap_psi}), "
+            f"{revival}{spares}{shard}"
+        )

@@ -71,6 +71,11 @@ class LifetimeResult:
     encoding_flag_reset_flips: int = 0
     encoded_words: int = 0
     repair_commits: int = 0
+    # -- WoLFRaM PAD backend (``wl_backend == "wolfram"``) ----------------
+    # Decoder-table entry rewrites (0 on the Start-Gap backend and for
+    # records predating the backend); priced by the energy model at
+    # ``PAD_ENTRY_BITS`` register-bit updates each.
+    pad_table_writes: int = 0
 
     @property
     def compression_cache_hit_rate(self) -> float:
@@ -230,6 +235,7 @@ def merge_results(results) -> LifetimeResult:
         ),
         encoded_words=sum(r.encoded_words for r in results),
         repair_commits=sum(r.repair_commits for r in results),
+        pad_table_writes=sum(r.pad_table_writes for r in results),
     )
 
 

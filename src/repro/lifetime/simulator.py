@@ -393,6 +393,7 @@ class LifetimeSimulator:
             encoding_flag_reset_flips=stats.encoding_flag_reset_flips,
             encoded_words=stats.encoded_words,
             repair_commits=stats.repair_commits,
+            pad_table_writes=getattr(stats, "pad_table_writes", 0),
         )
         for observer in observers:
             observer.on_run_end(result)

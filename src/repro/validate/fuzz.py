@@ -299,6 +299,7 @@ def run_fuzz(
     shards: int = 1,
     batch: int = 1,
     tier_lines: int = 0,
+    wl_backend: str | None = None,
 ) -> FuzzReport:
     """Differential campaigns over ``systems`` x ``schemes``.
 
@@ -335,6 +336,15 @@ def run_fuzz(
     validated write path) so the full-state sweep covers every line
     the stream touched.  ``tier_lines=0`` is the historical campaign,
     bit for bit.
+
+    ``wl_backend`` overrides every campaign config's wear-leveling /
+    remap backend (``"startgap_freep"`` or ``"wolfram"``), so one flag
+    re-runs a whole campaign matrix against the WoLFRaM PAD path and
+    its independent reference model.  ``None`` (the default) keeps each
+    system's own configured backend.  When the default system set is
+    used with ``wl_backend="wolfram"``, multi-region Start-Gap systems
+    are dropped from it (the config layer rejects that combination);
+    explicitly listed systems are not filtered.
     """
     if shards < 1:
         raise ValueError("need at least one shard")
@@ -351,10 +361,23 @@ def run_fuzz(
         # model.  Energy-encoded variants store XOR-transformed cells,
         # which the reference model would flag as divergence -- their
         # read-back correctness is pinned by tests/energy instead.
+        # Registry ``*_wolfram`` twins are excluded too: the PAD
+        # backend is covered by re-running this same set under the
+        # ``wl_backend`` override, not by doubling the default matrix.
         names = tuple(
             name for name in system_names()
             if getattr(get_system(name).config, "encoding", "none") == "none"
+            and getattr(
+                get_system(name).config, "wl_backend", "startgap_freep"
+            ) == "startgap_freep"
         )
+        if wl_backend == "wolfram":
+            # The PAD table is region-free; multi-region Start-Gap
+            # configs cannot take the override.
+            names = tuple(
+                name for name in names
+                if get_system(name).config.start_gap_regions == 1
+            )
     schemes = tuple(normalize_scheme(scheme) for scheme in schemes)
     shard_map = ShardMap(lines, shards)
 
@@ -371,7 +394,10 @@ def run_fuzz(
                 campaign.skipped = True
                 continue
 
-            config = get_system(system).configured(correction_scheme=scheme)
+            overrides = {"correction_scheme": scheme}
+            if wl_backend is not None:
+                overrides["wl_backend"] = wl_backend
+            config = get_system(system).configured(**overrides)
             rng = np.random.default_rng(
                 np.random.SeedSequence([seed, campaign_index])
             )

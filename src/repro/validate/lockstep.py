@@ -319,7 +319,18 @@ class ValidatingController:
         out: dict = {}
         start_gap = self.fast.start_gap
         gaps = getattr(start_gap, "_gaps", None)
-        if gaps is not None:
+        forward = getattr(start_gap, "_forward", None)
+        if forward is not None:
+            # WoLFRaM PAD backend: the whole permutation table is the
+            # register state (plus the rotating partner pointer).
+            out["start_gap"] = (
+                "pad",
+                tuple(forward),
+                start_gap._partner,
+                start_gap.write_count,
+                start_gap.swaps,
+            )
+        elif gaps is not None:
             out["start_gap"] = tuple(
                 (gap.start, gap.gap, gap.write_count, gap.gap_moves) for gap in gaps
             )

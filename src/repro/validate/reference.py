@@ -20,8 +20,10 @@ Two pieces are deliberately shared and documented as such:
   frozen pre-vectorization encoders, pinned byte-identical to the
   production kernels by ``tests/compression/test_vectorized_equivalence.py``.
 
-Everything else -- Start-Gap, intra-line rotation, FREE-p spares,
-Figure 8, the window search, the cell wear model -- is re-derived.
+Everything else -- Start-Gap, the WoLFRaM programmable address decoder
+(``config.wl_backend == "wolfram"``), intra-line rotation, FREE-p / PAD
+spares, Figure 8, the window search, the cell wear model -- is
+re-derived.
 
 Scope: SLC banks only.  :meth:`ReferenceModel.from_controller` raises
 ``NotImplementedError`` for MLC arrays (the oracle's cell loop models
@@ -242,6 +244,99 @@ class _RefIntraWL:
         return (tuple(self.counters), tuple(self.offsets), self.rotations)
 
 
+class _RefWolframPAD:
+    """WoLFRaM programmable address decoder, re-derived from the paper.
+
+    Deliberately different bookkeeping from the production
+    :class:`~repro.wearleveling.wolfram.WolframPAD`: only the forward
+    table (logical -> slot) is kept, as a dict, and the inverse mapping
+    is recovered by scanning it -- no paired inverse list to drift out
+    of sync.  A swap movement is reported as ``("pad", slot_a, slot_b)``
+    so the model's gap-move handler can tell it from a Start-Gap
+    ``(source, destination)`` tuple.
+    """
+
+    def __init__(self, n_lines: int, period: int) -> None:
+        self.n_lines = n_lines
+        self.period = period
+        self.slot_of = {logical: logical for logical in range(n_lines)}
+        self.partner = 0
+        self.write_count = 0
+        self.swaps = 0
+
+    @property
+    def physical_lines(self) -> int:
+        return self.n_lines
+
+    def map(self, logical: int) -> int:
+        return self.slot_of[logical]
+
+    def logical_of(self, physical: int) -> int:
+        for logical, slot in self.slot_of.items():
+            if slot == physical:
+                return logical
+        raise IndexError(f"physical slot {physical} has no owner")
+
+    def on_write(self, logical: int) -> tuple | None:
+        self.write_count += 1
+        if self.write_count % self.period != 0 or self.n_lines < 2:
+            return None
+        slot_a = self.slot_of[logical]
+        slot_b = self.partner
+        self.partner = (self.partner + 1) % self.n_lines
+        if slot_b == slot_a:
+            slot_b = self.partner
+            self.partner = (self.partner + 1) % self.n_lines
+        owner_a = self.logical_of(slot_a)
+        owner_b = self.logical_of(slot_b)
+        self.slot_of[owner_a] = slot_b
+        self.slot_of[owner_b] = slot_a
+        self.swaps += 1
+        return ("pad", slot_a, slot_b)
+
+    def registers(self) -> tuple:
+        forward = tuple(self.slot_of[logical] for logical in range(self.n_lines))
+        return ("pad", forward, self.partner, self.write_count, self.swaps)
+
+
+class _RefPadRemapper:
+    """Decoder-table spare pool: the remap ignores the dead line's health.
+
+    The PAD redirect lives in the decoder table, not in the dead line's
+    surviving cells, so -- unlike :class:`_RefFreeP` -- there is no
+    pointer-capacity precondition.  ``remap`` returns ``(spare,
+    rewrites)`` so the model can charge the table-write energy counter
+    (one entry plus one per collapsed chain link).
+    """
+
+    def __init__(self, spare_lines: list[int]) -> None:
+        self.free_spares = list(spare_lines)
+        self.remap_table: dict[int, int] = {}
+        self.remaps_performed = 0
+
+    def resolve(self, physical: int) -> int:
+        seen = set()
+        while physical in self.remap_table:
+            if physical in seen:
+                raise RuntimeError("remap cycle detected")
+            seen.add(physical)
+            physical = self.remap_table[physical]
+        return physical
+
+    def remap(self, dead_physical: int) -> tuple[int, int] | None:
+        if not self.free_spares:
+            return None
+        spare = self.free_spares.pop(0)
+        self.remap_table[dead_physical] = spare
+        rewrites = 1
+        for source, target in list(self.remap_table.items()):
+            if target == dead_physical:
+                self.remap_table[source] = spare
+                rewrites += 1
+        self.remaps_performed += 1
+        return spare, rewrites
+
+
 class _RefFreeP:
     """FREE-p spare pool with chain-collapsing remap pointers."""
 
@@ -292,6 +387,7 @@ STAT_FIELDS = (
     "remaps",
     "deaths",
     "revivals",
+    "pad_table_writes",
 )
 
 
@@ -319,8 +415,13 @@ class ReferenceModel:
         self.fault_mode = fault_mode
         self.scheme = scheme
 
-        if config.start_gap_regions > 1:
-            self.start_gap: _RefStartGap | _RefRegionStartGap = _RefRegionStartGap(
+        self.wl_backend = getattr(config, "wl_backend", "startgap_freep")
+        if self.wl_backend == "wolfram":
+            self.start_gap: (
+                _RefStartGap | _RefRegionStartGap | _RefWolframPAD
+            ) = _RefWolframPAD(n_lines, config.start_gap_psi)
+        elif config.start_gap_regions > 1:
+            self.start_gap = _RefRegionStartGap(
                 n_lines, config.start_gap_psi, config.start_gap_regions
             )
         else:
@@ -334,14 +435,17 @@ class ReferenceModel:
             )
         self.capacity_lines = base_physical
         self.n_physical = physical
-        self.remapper = (
-            _RefFreeP(
+        if not spare_count:
+            self.remapper = None
+        elif self.wl_backend == "wolfram":
+            self.remapper = _RefPadRemapper(
+                spare_lines=list(range(base_physical, physical))
+            )
+        else:
+            self.remapper = _RefFreeP(
                 spare_lines=list(range(base_physical, physical)),
                 pointer_bits=max(1, (physical - 1).bit_length()),
             )
-            if spare_count
-            else None
-        )
         self.intra_wl = (
             _RefIntraWL(n_banks, config.intra_counter_limit)
             if config.use_intra_wear_leveling
@@ -463,15 +567,24 @@ class ReferenceModel:
             return physical
         return self.remapper.resolve(physical)
 
-    def _handle_gap_move(self, movement: tuple[int, int]) -> None:
-        logical = self.start_gap.logical_of(movement[1])
-        if logical is None:
-            return
-        data = self._shadow.get(logical)
-        if data is None:
-            return
-        self.stats["gap_move_writes"] += 1
-        self._write_line(self._resolve(movement[1]), data, revival_allowed=True)
+    def _handle_gap_move(self, movement: tuple) -> None:
+        """Relocate displaced lines: one slot per gap move, two per swap."""
+        if movement[0] == "pad":
+            destinations = movement[1:]
+            self.stats["pad_table_writes"] += 2
+        else:
+            destinations = (movement[1],)
+        for destination in destinations:
+            logical = self.start_gap.logical_of(destination)
+            if logical is None:
+                continue
+            data = self._shadow.get(logical)
+            if data is None:
+                continue
+            self.stats["gap_move_writes"] += 1
+            self._write_line(
+                self._resolve(destination), data, revival_allowed=True
+            )
 
     def _write_line(self, physical: int, data: bytes, revival_allowed: bool) -> dict:
         config = self.config
@@ -706,10 +819,19 @@ class ReferenceModel:
         if self.remapper is None:
             return None
         line = self.lines[physical]
-        healthy = LINE_BITS - line.fault_count()
-        spare = self.remapper.remap(physical, healthy)
-        if spare is None:
-            return None
+        if self.wl_backend == "wolfram":
+            # PAD remap: the decoder table holds the redirect, so the
+            # dead line's remaining health is irrelevant.
+            remapped = self.remapper.remap(physical)
+            if remapped is None:
+                return None
+            spare, rewrites = remapped
+            self.stats["pad_table_writes"] += rewrites
+        else:
+            healthy = LINE_BITS - line.fault_count()
+            spare = self.remapper.remap(physical, healthy)
+            if spare is None:
+                return None
         self.stats["remaps"] += 1
         self.death_fault_counts[physical] = line.fault_count()
         return spare

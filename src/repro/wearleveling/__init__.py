@@ -1,7 +1,16 @@
-"""Wear-leveling: Start-Gap (inter-line) and rotation (intra-line)."""
+"""Wear-leveling: Start-Gap / WoLFRaM PAD (inter-line), rotation (intra)."""
 
 from .intra_line import IntraLineWearLeveler
 from .region_start_gap import RegionStartGap
 from .start_gap import GapMovement, StartGap
+from .wolfram import PadSpareRemapper, PadSwap, WolframPAD
 
-__all__ = ["GapMovement", "IntraLineWearLeveler", "RegionStartGap", "StartGap"]
+__all__ = [
+    "GapMovement",
+    "IntraLineWearLeveler",
+    "PadSpareRemapper",
+    "PadSwap",
+    "RegionStartGap",
+    "StartGap",
+    "WolframPAD",
+]

@@ -44,6 +44,19 @@ class GapMovement:
     destination: int
 
     @property
+    def destinations(self) -> tuple[int, ...]:
+        """Physical slots that must receive relocated data, in order.
+
+        Start-Gap relocates exactly one line per move.  This is the
+        backend-agnostic surface the controller and the batch scheduler
+        iterate: a WoLFRaM PAD swap
+        (:class:`repro.wearleveling.wolfram.PadSwap`) reports two
+        destinations, a gap move reports one, and neither caller needs
+        to know which wear-leveler produced the movement.
+        """
+        return (self.destination,)
+
+    @property
     def perturbed_lines(self) -> tuple[int, int]:
         """The two physical slots this move touches -- nothing else.
 

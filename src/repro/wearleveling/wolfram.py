@@ -1,0 +1,236 @@
+"""WoLFRaM-style programmable-address-decoder wear-leveling.
+
+WoLFRaM (Assadikhomami et al.; see PAPERS.md) folds inter-line
+wear-leveling and fault tolerance into one mechanism: a programmable
+address decoder (PAD) holds an explicit logical-to-physical permutation
+table.  Wear-leveling rewrites table entries -- every ``period`` writes
+the just-written line's physical slot is *swapped* with a rotating
+partner slot, so write-hot lines diffuse through the array -- and fault
+tolerance rewrites them too: a dead line is permanently remapped to a
+spare by pointing its decoder entry elsewhere, with no FREE-p-style
+pointer stored in the dead line's surviving cells.
+
+Two classes model the two halves:
+
+* :class:`WolframPAD` -- the permutation table plus the swap schedule.
+  It is interface-compatible with
+  :class:`~repro.wearleveling.start_gap.StartGap` (``map`` /
+  ``logical_of`` / ``on_write`` / ``physical_lines``), so the engine's
+  :class:`~repro.engine.stages.RemapStage` drives it unchanged; a swap
+  is reported as a :class:`PadSwap` whose ``destinations`` lists *both*
+  slots needing relocated data (Start-Gap moves list one).
+* :class:`PadSpareRemapper` -- the remap-to-spare pool.  It mirrors the
+  :class:`~repro.correction.freep.FreePRemapper` surface
+  (``resolve`` / ``remap`` / ``spares_available``) but ignores the dead
+  line's fault mask: the redirect lives in the decoder table, not in
+  the line, so even a fully-worn line can be retired.
+
+Unlike Start-Gap there is no gap slot: ``physical_lines == n_lines``,
+and every physical slot always has a logical owner (``logical_of``
+never returns ``None``).  Each swap costs two PAD entry rewrites,
+counted in ``table_writes`` and -- when :meth:`WolframPAD.bind_stats`
+has attached a :class:`~repro.engine.context.ControllerStats` -- in the
+priced ``pad_table_writes`` counter (see :mod:`repro.energy.model`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PadSwap:
+    """One PAD swap: physical slots ``slot_a`` and ``slot_b`` trade owners.
+
+    After the table rewrite the logical line stored in ``slot_a`` maps
+    to ``slot_b`` and vice versa, so *both* slots must receive their new
+    owner's data (``destinations``).  Like a Start-Gap move, only these
+    two slots are perturbed -- every other physical slot keeps both its
+    content and its mapping -- which is what lets the out-of-order batch
+    scheduler treat a swap as two per-row dependency edges instead of a
+    global barrier.
+    """
+
+    slot_a: int
+    slot_b: int
+
+    @property
+    def destinations(self) -> tuple[int, ...]:
+        """Both swapped slots; each needs its new owner's data written."""
+        return (self.slot_a, self.slot_b)
+
+    @property
+    def perturbed_lines(self) -> tuple[int, int]:
+        """The two physical slots this swap touches -- nothing else."""
+        return (self.slot_a, self.slot_b)
+
+
+class WolframPAD:
+    """Programmable-address-decoder remapper over ``n_lines`` lines.
+
+    Args:
+        n_lines: Logical (and physical -- no gap slot) line count.
+        period: Demand writes between swaps (reuses the configured
+            ``start_gap_psi`` so both backends pay one relocation per
+            ``psi`` writes of wear-leveling overhead; WoLFRaM pays two
+            relocation writes per swap where Start-Gap pays one per
+            move).
+    """
+
+    def __init__(self, n_lines: int, period: int = 100) -> None:
+        if n_lines < 1:
+            raise ValueError("need at least one logical line")
+        if period < 1:
+            raise ValueError("period (writes per swap) must be positive")
+        self.n_lines = n_lines
+        self.period = period
+        #: forward[logical] -> physical; inverse[physical] -> logical.
+        self._forward = list(range(n_lines))
+        self._inverse = list(range(n_lines))
+        #: Rotating partner pointer: the slot the next swap trades with.
+        self._partner = 0
+        self.write_count = 0
+        self.swaps = 0
+        #: PAD entries rewritten (2 per swap; remap rewrites are counted
+        #: by the spare remapper, which owns that table region).
+        self.table_writes = 0
+        #: Optional ControllerStats to mirror ``table_writes`` into (the
+        #: priced ``pad_table_writes`` counter); bound by the controller.
+        self._stats = None
+
+    def bind_stats(self, stats) -> None:
+        """Attach the engine's stats record for table-write accounting."""
+        self._stats = stats
+
+    @property
+    def physical_lines(self) -> int:
+        """Physical slots backing the array (no spare gap slot)."""
+        return self.n_lines
+
+    def map(self, logical: int) -> int:
+        """Current physical slot of a logical line."""
+        if not 0 <= logical < self.n_lines:
+            raise IndexError(
+                f"logical line {logical} out of range [0, {self.n_lines})"
+            )
+        return self._forward[logical]
+
+    def logical_of(self, physical: int) -> int:
+        """Inverse mapping; every slot has an owner (there is no gap)."""
+        if not 0 <= physical < self.n_lines:
+            raise IndexError(
+                f"physical slot {physical} out of range [0, {self.n_lines})"
+            )
+        return self._inverse[physical]
+
+    def on_write(self, logical: int | None = None) -> PadSwap | None:
+        """Account one demand write; every ``period``-th returns a swap.
+
+        The swap pairs the *written* line's current slot with the
+        rotating partner slot (skipping it when both coincide), so hot
+        lines are the ones that keep moving -- the PAD analogue of
+        Start-Gap walking its gap through the array.  The caller must
+        copy each destination's new owner's data into it before issuing
+        further writes (the simulator charges both copies as real
+        writes, mirroring ``GapMovement`` handling).
+        """
+        self.write_count += 1
+        if self.write_count % self.period != 0 or self.n_lines < 2:
+            return None
+        if logical is None:
+            # Interface parity with StartGap.on_write(); without the
+            # written line's identity, swap the partner with its
+            # successor slot instead.
+            slot_a = self._partner
+            self._partner = (self._partner + 1) % self.n_lines
+        else:
+            slot_a = self._forward[logical]
+        slot_b = self._partner
+        self._partner = (self._partner + 1) % self.n_lines
+        if slot_b == slot_a:
+            slot_b = self._partner
+            self._partner = (self._partner + 1) % self.n_lines
+        return self._swap(slot_a, slot_b)
+
+    def _swap(self, slot_a: int, slot_b: int) -> PadSwap:
+        """Rewrite the two table entries; returns the movement record."""
+        owner_a = self._inverse[slot_a]
+        owner_b = self._inverse[slot_b]
+        self._forward[owner_a] = slot_b
+        self._forward[owner_b] = slot_a
+        self._inverse[slot_a] = owner_b
+        self._inverse[slot_b] = owner_a
+        self.swaps += 1
+        self.table_writes += 2
+        if self._stats is not None:
+            self._stats.pad_table_writes += 2
+        return PadSwap(slot_a=slot_a, slot_b=slot_b)
+
+
+class PadSpareRemapper:
+    """Decoder-table remap-to-spare pool (the fault-tolerance half).
+
+    Mirrors the :class:`~repro.correction.freep.FreePRemapper` surface
+    the :class:`~repro.engine.stages.CorrectionStage` and the lockstep
+    oracle consume (``resolve`` / ``remap`` / ``spares_available`` /
+    ``remaps_performed``), with one semantic difference: the redirect is
+    a PAD table rewrite, so ``remap`` never inspects the dead line's
+    fault mask -- a line too worn to host a FREE-p pointer can still be
+    retired.  Chains are collapsed exactly like FREE-p's
+    pointer-update-on-chase, and each performed remap is charged as one
+    PAD entry rewrite to the bound stats (plus one per collapsed chain
+    link).
+    """
+
+    def __init__(self, spare_lines: list[int]) -> None:
+        self._free_spares = list(dict.fromkeys(spare_lines))
+        self._remap: dict[int, int] = {}
+        self.remaps_performed = 0
+        self.table_writes = 0
+        self._stats = None
+
+    def bind_stats(self, stats) -> None:
+        """Attach the engine's stats record for table-write accounting."""
+        self._stats = stats
+
+    @property
+    def spares_available(self) -> int:
+        """Unconsumed spare lines remaining."""
+        return len(self._free_spares)
+
+    def is_spare(self, physical: int) -> bool:
+        """Whether a physical index is an unconsumed spare."""
+        return physical in self._free_spares
+
+    def resolve(self, physical: int) -> int:
+        """Follow (collapsed) decoder redirects to the live location."""
+        seen = set()
+        while physical in self._remap:
+            if physical in seen:
+                raise RuntimeError("remap cycle detected")
+            seen.add(physical)
+            physical = self._remap[physical]
+        return physical
+
+    def remap(self, dead_physical: int, faulty_mask=None) -> int | None:
+        """Redirect a dead line to a fresh spare, or None when none remain.
+
+        ``faulty_mask`` is accepted for interface parity with FREE-p and
+        ignored: the decoder table holds the redirect, so the dead
+        line's remaining health is irrelevant.
+        """
+        del faulty_mask
+        if not self._free_spares:
+            return None
+        spare = self._free_spares.pop(0)
+        self._remap[dead_physical] = spare
+        rewrites = 1
+        for source, target in list(self._remap.items()):
+            if target == dead_physical:
+                self._remap[source] = spare
+                rewrites += 1
+        self.remaps_performed += 1
+        self.table_writes += rewrites
+        if self._stats is not None:
+            self._stats.pad_table_writes += rewrites
+        return spare

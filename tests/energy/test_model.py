@@ -92,6 +92,52 @@ class TestEnergyModelPricing:
         assert b.correction_pj == 0.0
         assert b.writes == 2
 
+    def test_empty_stub_prices_to_all_zero(self):
+        # PR 10 audit: the breakdown must never AttributeError on a
+        # counter source that has *no* recognised fields at all (legacy
+        # pickles, hand-rolled stat stubs).  Every term defaults to 0.
+        class Empty:
+            pass
+
+        b = EnergyModel().breakdown(Empty())
+        assert b.total_pj == 0.0
+        assert b.pad_table_pj == 0.0
+        assert b.writes == 0
+        assert b.per_write_pj == 0.0
+
+    def test_pad_table_writes_price_as_register_updates(self):
+        from repro.energy.model import PAD_ENTRY_BITS
+
+        class WolframStats:
+            demand_writes = 4
+            pad_table_writes = 10
+
+        model = EnergyModel()
+        b = model.breakdown(WolframStats())
+        assert b.pad_table_pj == pytest.approx(
+            10 * PAD_ENTRY_BITS * model.register_pj
+        )
+        assert b.total_pj == pytest.approx(b.pad_table_pj)
+        assert b.to_dict()["pad_table_pj"] == pytest.approx(b.pad_table_pj)
+
+    def test_legacy_lifetime_record_prices_without_pad_field(self):
+        # Records pickled before the WoLFRaM backend lack the
+        # pad_table_writes slot; pricing must read it as 0, and a
+        # pre-PR10 EnergyBreakdown constructed without the new field
+        # must stay buildable (default 0.0 keeps old call sites valid).
+        from repro.lifetime.results import LifetimeResult
+
+        legacy = LifetimeResult.__new__(LifetimeResult)
+        object.__setattr__(legacy, "set_flips", 12)
+        object.__setattr__(legacy, "reset_flips", 6)
+        object.__setattr__(legacy, "writes_issued", 3)
+        b = EnergyModel().breakdown(legacy)
+        assert b.pad_table_pj == 0.0
+        assert b.array_pj > 0.0
+        old_style = EnergyBreakdown(1.0, 1.0, 0.0, 0.0, 0.0, 0.0, writes=1)
+        assert old_style.pad_table_pj == 0.0
+        assert old_style.total_pj == pytest.approx(2.0)
+
     def test_pricing_is_additive_over_stats_merge(self):
         # The Pareto sweep prices merged fleet records; pricing must
         # commute with the stats monoid for that to be sound.

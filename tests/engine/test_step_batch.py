@@ -59,12 +59,15 @@ def state_fingerprint(controller):
     memory = engine.memory
     start_gap = engine.start_gap
     gaps = getattr(start_gap, "_gaps", None)
-    gap_state = (
-        [(g.start, g.gap, g.write_count, g.gap_moves) for g in gaps]
-        if gaps is not None
-        else (start_gap.start, start_gap.gap, start_gap.write_count,
-              start_gap.gap_moves)
-    )
+    forward = getattr(start_gap, "_forward", None)
+    if forward is not None:  # WoLFRaM PAD backend
+        gap_state = ("pad", tuple(forward), start_gap._partner,
+                     start_gap.write_count, start_gap.swaps)
+    elif gaps is not None:  # RegionStartGap
+        gap_state = [(g.start, g.gap, g.write_count, g.gap_moves) for g in gaps]
+    else:
+        gap_state = (start_gap.start, start_gap.gap, start_gap.write_count,
+                     start_gap.gap_moves)
     intra = engine.intra_wl
     remapper = engine.remapper
     return {

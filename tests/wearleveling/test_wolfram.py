@@ -1,0 +1,173 @@
+"""Unit tests for the WoLFRaM programmable-address-decoder backend."""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.wearleveling import PadSpareRemapper, PadSwap, WolframPAD
+
+
+def drive(pad, writes, hot_line=0):
+    """Issue writes to one hot line, applying swaps to a shadow array."""
+    data = {pad.map(line): line for line in range(pad.n_lines)}
+    for _ in range(writes):
+        movement = pad.on_write(hot_line)
+        if movement is not None:
+            owners = {slot: pad.logical_of(slot) for slot in movement.destinations}
+            for slot, owner in owners.items():
+                data[slot] = owner
+    return data
+
+
+def test_initial_mapping_is_identity_with_no_gap_slot():
+    pad = WolframPAD(n_lines=8, period=10)
+    assert [pad.map(line) for line in range(8)] == list(range(8))
+    assert pad.physical_lines == 8  # no Start-Gap-style gap slot
+
+
+def test_mapping_stays_bijective_forever():
+    pad = WolframPAD(n_lines=8, period=1)
+    for i in range(200):
+        pad.on_write(i % 8)
+        physicals = [pad.map(line) for line in range(8)]
+        assert sorted(physicals) == list(range(8))
+        for line in range(8):
+            assert pad.logical_of(pad.map(line)) == line
+
+
+def test_swap_schedule_honors_period():
+    pad = WolframPAD(n_lines=8, period=10)
+    swaps = sum(1 for i in range(100) if pad.on_write(i % 8) is not None)
+    assert swaps == 10
+    assert pad.swaps == 10
+    assert pad.table_writes == 20  # two PAD entries per swap
+
+
+def test_swap_pairs_written_line_with_rotating_partner():
+    pad = WolframPAD(n_lines=4, period=1)
+    movement = pad.on_write(2)
+    assert isinstance(movement, PadSwap)
+    # Line 2 sits in slot 2; the partner pointer starts at slot 0.
+    assert movement.destinations == (2, 0)
+    assert movement.perturbed_lines == (2, 0)
+    assert pad.map(2) == 0
+    assert pad.logical_of(2) == 0
+
+
+def test_swap_skips_self_pairing():
+    pad = WolframPAD(n_lines=4, period=1)
+    # Line 0 sits in slot 0, which is also the initial partner: the
+    # schedule must advance past the collision instead of emitting a
+    # degenerate (0, 0) swap.
+    movement = pad.on_write(0)
+    assert movement.slot_a != movement.slot_b
+
+
+def test_single_line_array_never_swaps():
+    pad = WolframPAD(n_lines=1, period=1)
+    assert pad.on_write(0) is None
+    assert pad.map(0) == 0
+
+
+def test_data_tracks_mapping_through_swaps():
+    pad = WolframPAD(n_lines=8, period=1)
+    data = drive(pad, 300, hot_line=3)
+    for line in range(8):
+        assert data[pad.map(line)] == line
+
+
+def test_bounds():
+    pad = WolframPAD(n_lines=4, period=1)
+    with pytest.raises(IndexError):
+        pad.map(4)
+    with pytest.raises(IndexError):
+        pad.map(-1)
+    with pytest.raises(IndexError):
+        pad.logical_of(4)
+    with pytest.raises(ValueError):
+        WolframPAD(n_lines=0)
+    with pytest.raises(ValueError):
+        WolframPAD(n_lines=4, period=0)
+
+
+def test_stats_binding_mirrors_table_writes():
+    class Stats:
+        pad_table_writes = 0
+
+    stats = Stats()
+    pad = WolframPAD(n_lines=8, period=1)
+    pad.bind_stats(stats)
+    for i in range(5):
+        pad.on_write(i)
+    assert stats.pad_table_writes == pad.table_writes == 10
+
+
+def test_pickle_round_trip_preserves_schedule():
+    pad = WolframPAD(n_lines=8, period=3)
+    drive(pad, 50, hot_line=1)
+    clone = pickle.loads(pickle.dumps(pad))
+    for _ in range(30):
+        a = pad.on_write(1)
+        b = clone.on_write(1)
+        assert (a is None) == (b is None)
+        if a is not None:
+            assert a.destinations == b.destinations
+    assert clone._forward == pad._forward
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=12),
+    st.integers(min_value=1, max_value=5),
+    st.lists(st.integers(min_value=0, max_value=11), max_size=200),
+)
+def test_mapping_consistency_random(n_lines, period, stream):
+    pad = WolframPAD(n_lines=n_lines, period=period)
+    data = {pad.map(line): line for line in range(n_lines)}
+    for raw in stream:
+        movement = pad.on_write(raw % n_lines)
+        if movement is not None:
+            for slot in movement.destinations:
+                data[slot] = pad.logical_of(slot)
+    for line in range(n_lines):
+        assert data[pad.map(line)] == line
+
+
+# -- PadSpareRemapper ------------------------------------------------------
+
+
+def test_remap_consumes_spares_in_order_and_ignores_mask():
+    remapper = PadSpareRemapper(spare_lines=[10, 11])
+    # A fully-worn mask would make FREE-p refuse; the PAD remap must not.
+    assert remapper.remap(3, faulty_mask=[True] * 512) == 10
+    assert remapper.resolve(3) == 10
+    assert remapper.spares_available == 1
+    assert remapper.remap(5) == 11
+    assert remapper.remap(7) is None  # pool exhausted
+    assert remapper.remaps_performed == 2
+
+
+def test_remap_chain_collapses_and_counts_rewrites():
+    class Stats:
+        pad_table_writes = 0
+
+    stats = Stats()
+    remapper = PadSpareRemapper(spare_lines=[10, 11])
+    remapper.bind_stats(stats)
+    remapper.remap(3)          # 3 -> 10, one entry rewrite
+    assert stats.pad_table_writes == 1
+    remapper.remap(10)         # 10 -> 11, plus collapsing 3 -> 11
+    assert remapper.resolve(3) == 11
+    assert remapper.resolve(10) == 11
+    assert stats.pad_table_writes == 3
+    assert remapper.table_writes == 3
+
+
+def test_resolve_passes_unmapped_lines_through():
+    remapper = PadSpareRemapper(spare_lines=[10])
+    assert remapper.resolve(4) == 4
+    assert remapper.is_spare(10)
+    remapper.remap(4)
+    assert not remapper.is_spare(10)
